@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures: it runs the
+study under ``pytest-benchmark`` timing, prints the regenerated rows,
+and asserts the qualitative shape the paper reports (see EXPERIMENTS.md
+for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MachineConfig
+from repro.apps import paper_scale
+
+#: The paper's machine: 16 processors, 4x4 mesh, 1.6 cycles/byte.
+PAPER_CFG = MachineConfig(nprocs=16)
+
+#: Application factories at the paper's input sizes (Section 5).
+PAPER_APPS = paper_scale()
+
+
+@pytest.fixture
+def paper_cfg() -> MachineConfig:
+    return PAPER_CFG
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Simulation runs are deterministic, so one round is sufficient and
+    keeps the full harness fast.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,97 @@
+"""Ablation: decoupling data flow from synchronisation (paper Section 6).
+
+The paper's proposed path to a zero-overhead machine: "use
+synchronization only for control flow and use a different mechanism for
+data flow ... associating data with synchronization in order to carry
+out smart self-invalidations when needed at the consumer instead of
+stalling at the producer."
+
+This bench runs the same producer-consumer pipeline two ways on each
+memory system: conventional barrier synchronisation (the producer
+flushes its write buffers at every release) versus the
+:class:`DataChannel` primitive (fire-and-forget publication +
+consumer-side self-invalidation).  Decoupling must drive the producer's
+buffer-flush time to zero and reduce total time on the merge-buffered
+systems, approaching z-machine behaviour.
+"""
+
+from conftest import PAPER_CFG, run_once
+
+from repro.runtime import Barrier, DataChannel, Machine
+from repro.sim.events import Compute
+
+EPOCHS = 6
+NWORDS = 64
+COMPUTE = 2000.0
+
+
+def barrier_pipeline(system):
+    machine = Machine(PAPER_CFG, system)
+    data = machine.shm.array(NWORDS, "data", align_line=True)
+    bar = Barrier(machine.sync)
+
+    def worker(ctx):
+        for e in range(EPOCHS):
+            if ctx.pid == 0:
+                yield Compute(COMPUTE)
+                yield from data.write_range(0, [e * 1000 + i for i in range(NWORDS)])
+            yield from bar.wait()
+            if ctx.pid != 0:
+                vals = yield from data.read_range(0, NWORDS)
+                assert vals[0] == e * 1000
+                yield Compute(COMPUTE / 4)
+            yield from bar.wait()
+
+    return machine.run(worker)
+
+
+def channel_pipeline(system):
+    machine = Machine(PAPER_CFG, system)
+    chan = DataChannel(
+        machine, nwords=NWORDS, consumers=PAPER_CFG.nprocs - 1, depth=2
+    )
+
+    def worker(ctx):
+        if ctx.pid == 0:
+            for e in range(EPOCHS):
+                yield Compute(COMPUTE)
+                yield from chan.produce([e * 1000 + i for i in range(NWORDS)])
+        else:
+            reader = chan.reader()
+            for e in range(EPOCHS):
+                vals = yield from reader.next()
+                assert vals[0] == e * 1000
+                yield Compute(COMPUTE / 4)
+
+    return machine.run(worker)
+
+
+def test_ablation_data_sync_decoupling(benchmark):
+    def sweep():
+        out = {}
+        for system in ("z-mc", "RCinv", "RCupd", "RCcomp"):
+            b = barrier_pipeline(system)
+            c = channel_pipeline(system)
+            out[system] = (
+                b.procs[0].buffer_flush,
+                c.procs[0].buffer_flush,
+                b.total_time,
+                c.total_time,
+            )
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(
+        f"{'system':8s} {'flush(barrier)':>15s} {'flush(channel)':>15s} "
+        f"{'total(barrier)':>15s} {'total(channel)':>15s}"
+    )
+    for system, (bf_b, bf_c, t_b, t_c) in results.items():
+        print(f"{system:8s} {bf_b:15.1f} {bf_c:15.1f} {t_b:15.1f} {t_c:15.1f}")
+
+    for system, (bf_b, bf_c, t_b, t_c) in results.items():
+        # decoupling eliminates the producer's buffer-flush entirely
+        assert bf_c == 0.0, system
+        if system in ("RCupd", "RCcomp"):
+            assert bf_b > 0.0  # the merge buffer forced flushes before
+            assert t_c < t_b  # and the decoupled version is faster

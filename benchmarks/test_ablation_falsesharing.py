@@ -1,0 +1,77 @@
+"""Ablation: false sharing (line size effects).
+
+The z-machine uses 4-byte lines precisely so that "the only
+communication that occurs is due to true sharing in the application";
+the real systems' 32-byte lines add false sharing.  This bench puts one
+per-processor counter on a shared line vs. one per cache line and
+measures the invalidation ping-pong the packed layout causes on RCinv.
+"""
+
+from conftest import PAPER_CFG, run_once
+
+from repro.apps.base import Application, run_machine
+from repro.runtime import Barrier
+from repro.sim.events import Compute
+
+UPDATES = 30  # increments per processor
+
+
+class CounterArray(Application):
+    """Every processor repeatedly increments its own counter.
+
+    No true sharing at all — any communication is pure false sharing.
+    """
+
+    name = "Counters"
+
+    def __init__(self, padded: bool):
+        self.padded = padded
+
+    def setup(self, machine):
+        p = machine.config.nprocs
+        words_per_line = machine.config.words_per_line
+        stride = words_per_line if self.padded else 1
+        self.stride = stride
+        self.counters = machine.shm.array(p * stride, "counters", align_line=True)
+        self.barrier = Barrier(machine.sync)
+
+    def worker(self, ctx):
+        slot = ctx.pid * self.stride
+        for _ in range(UPDATES):
+            v = yield from self.counters.read(slot)
+            yield from self.counters.write(slot, v + 1)
+            yield Compute(20)
+        yield from self.barrier.wait()
+
+    def verify(self):
+        for pid in range(self.counters.n // self.stride):
+            assert self.counters.peek(pid * self.stride) == UPDATES
+
+
+def test_ablation_false_sharing(benchmark):
+    def sweep():
+        out = {}
+        for padded in (False, True):
+            machine, res = run_machine(CounterArray(padded), "RCinv", PAPER_CFG)
+            out[padded] = (
+                res.mean_read_stall,
+                res.mean_write_stall + res.mean_buffer_flush,
+                machine.memsys.invalidations_sent,
+                res.total_time,
+            )
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(f"{'layout':>8s} {'read stall':>12s} {'wr+flush':>10s} {'invals':>8s} {'total':>12s}")
+    for padded, (rs, wf, inv, total) in results.items():
+        label = "padded" if padded else "packed"
+        print(f"{label:>8s} {rs:12.1f} {wf:10.1f} {inv:8d} {total:12.1f}")
+
+    packed, padded = results[False], results[True]
+    # padding eliminates the invalidation ping-pong entirely...
+    assert padded[2] == 0
+    assert packed[2] > 0
+    # ...and with it the read stall and total time
+    assert padded[0] < 0.2 * packed[0] + 1.0
+    assert padded[3] < packed[3]

@@ -1,0 +1,39 @@
+"""Ablation: finite caches (paper Section 7 open issue).
+
+"There are several open issues to be explored including the effect of
+finite caches on the overheads."  Finite caches add capacity misses —
+communication the z-machine (infinite cache) never pays — so read stall
+must grow monotonically as the cache shrinks.
+"""
+
+from conftest import PAPER_CFG, run_once
+
+from repro.apps import Cholesky
+from repro.apps.base import run_machine
+
+#: cache sizes in lines; None = infinite (paper default)
+SIZES = (2, 4, 16, None)
+
+
+def test_ablation_finite_cache(benchmark):
+    def sweep():
+        out = {}
+        for lines in SIZES:
+            cfg = PAPER_CFG.replace(cache_lines=lines)
+            machine, res = run_machine(Cholesky(grid=(8, 8)), "RCinv", cfg)
+            evictions = sum(c.evictions for c in machine.memsys.caches)
+            out[lines] = (res.mean_read_stall, evictions, res.total_time)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(f"{'lines':>8s} {'read stall':>12s} {'evictions':>10s} {'total':>12s}")
+    for lines, (rs, ev, total) in results.items():
+        label = "inf" if lines is None else str(lines)
+        print(f"{label:>8s} {rs:12.1f} {ev:10d} {total:12.1f}")
+
+    # infinite cache never evicts; tiny caches evict heavily
+    assert results[None][1] == 0
+    assert results[2][1] > results[16][1] > 0
+    # capacity misses add read stall over the infinite-cache baseline
+    assert results[2][0] > results[None][0]

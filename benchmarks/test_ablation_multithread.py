@@ -1,0 +1,77 @@
+"""Ablation: multithreading for latency tolerance (paper Sections 6-7).
+
+"There are several open issues to be explored including ... the use of
+other architectural enhancements such as multithreading and prefetching
+to lower the overheads."  A switch-on-miss multithreaded processor runs
+several contexts per node, hiding one context's miss latency under
+another's computation.
+
+The sweep covers both regimes the latency-tolerance literature
+identifies: on a lightly loaded machine (4 processors) multithreading
+hides most of the read stall; on the fully populated 16-processor mesh
+the same workload is bandwidth-bound — extra contexts only deepen the
+network queues, so the gains evaporate.  (Multithreading tolerates
+latency, not bandwidth.)
+"""
+
+from conftest import run_once
+
+from repro import MachineConfig
+from repro.runtime import Barrier, Machine, interleave
+from repro.sim.events import Compute
+
+CONTEXTS = (1, 2, 4)
+WORK_WORDS = 256  # shared words scanned per processor (split across contexts)
+
+
+def run_mt(contexts_per_proc: int, nprocs: int):
+    cfg = MachineConfig(nprocs=nprocs)
+    machine = Machine(cfg, "RCinv")
+    words_per_ctx = WORK_WORDS // contexts_per_proc
+    total = nprocs * WORK_WORDS
+    data = machine.shm.array(total, "data", align_line=True)
+    data.poke_many([float(i % 7) for i in range(total)])
+    barrier = Barrier(machine.sync)
+
+    def make_ctx(pid, k):
+        def gen():
+            base = pid * WORK_WORDS + k * words_per_ctx
+            acc = 0.0
+            for i in range(base, base + words_per_ctx):
+                acc += yield from data.read(i)
+                yield Compute(8)
+        return gen()
+
+    def worker(ctx):
+        bodies = [make_ctx(ctx.pid, k) for k in range(contexts_per_proc)]
+        yield from interleave(bodies, switch_cost=4.0)
+        yield from barrier.wait()
+
+    res = machine.run(worker)
+    return res.mean_read_stall, res.total_time
+
+
+def test_ablation_multithreading(benchmark):
+    def sweep():
+        return {
+            nprocs: {c: run_mt(c, nprocs) for c in CONTEXTS}
+            for nprocs in (4, 16)
+        }
+
+    results = run_once(benchmark, sweep)
+    print()
+    for nprocs, per_ctx in results.items():
+        print(f"{nprocs} processors:")
+        print(f"{'contexts':>9s} {'read stall':>12s} {'total':>12s}")
+        for c, (rs, total) in per_ctx.items():
+            print(f"{c:9d} {rs:12.1f} {total:12.1f}")
+
+    light = results[4]
+    # latency-bound regime: extra contexts hide a good share of read stall
+    assert light[2][0] < 0.8 * light[1][0]
+    assert light[2][1] < light[1][1]
+    assert light[4][0] < light[1][0]
+    # bandwidth-bound regime: multithreading cannot manufacture bandwidth,
+    # so the relative gains collapse (ratio far above the light regime's)
+    heavy = results[16]
+    assert heavy[2][0] > 0.8 * heavy[1][0]

@@ -1,0 +1,38 @@
+"""Ablation: network speed vs overheads (paper Section 6).
+
+"Write stall time is dependent on ... the relative speed of the network
+with respect to the processor. Improving either of these two parameters
+will help to lower the write stall time."  A faster network (fewer
+cycles per byte) must shrink every overhead component.
+"""
+
+from conftest import PAPER_CFG, run_once
+
+from repro.apps import IntegerSort
+from repro.apps.base import run_on
+
+SPEEDS = (0.4, 0.8, 1.6, 3.2, 6.4)  # cycles per byte; paper default 1.6
+
+
+def test_ablation_network_speed(benchmark):
+    def sweep():
+        out = {}
+        for cpb in SPEEDS:
+            cfg = PAPER_CFG.replace(cycles_per_byte=cpb)
+            res = run_on(IntegerSort(n_keys=1024, nbuckets=64), "RCinv", cfg)
+            out[cpb] = (res.mean_read_stall, res.overhead_pct, res.total_time)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(f"{'cyc/byte':>9s} {'read stall':>12s} {'ovh %':>8s} {'total':>12s}")
+    for cpb, (rs, pct, total) in results.items():
+        print(f"{cpb:9.1f} {rs:12.1f} {pct:7.2f}% {total:12.1f}")
+
+    # slower links monotonically increase read stall and total time
+    rs = [results[s][0] for s in SPEEDS]
+    totals = [results[s][2] for s in SPEEDS]
+    assert all(a <= b * 1.02 for a, b in zip(rs, rs[1:]))
+    assert all(a <= b * 1.02 for a, b in zip(totals, totals[1:]))
+    # a 4x faster network than the paper's cuts overhead % substantially
+    assert results[0.4][1] < results[1.6][1]

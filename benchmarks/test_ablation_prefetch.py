@@ -1,0 +1,91 @@
+"""Ablation: sequential prefetch on RCinv (paper Section 6 suggestion).
+
+"Applications in which there is considerable cold miss penalty ...
+prefetching and/or multithreading are more promising options."  But the
+paper also notes (citing Gupta et al.) that "no one technique is
+universally applicable": this bench shows both sides —
+
+* a sequential scan, where next-block prefetch hides most cold misses;
+* IS, whose strided histogram exchange makes next-block prefetch pure
+  pollution (read stall *increases*).
+"""
+
+from conftest import PAPER_CFG, run_once
+
+from repro.apps import IntegerSort
+from repro.apps.base import Application, run_machine
+from repro.runtime import Barrier
+from repro.sim.events import Compute
+
+DEPTHS = (0, 1, 2, 4)
+
+
+class SequentialScan(Application):
+    """Every processor sums a contiguous slice of a large shared array."""
+
+    name = "Scan"
+
+    def __init__(self, words_per_proc: int = 256):
+        self.words_per_proc = words_per_proc
+        self.totals: dict[int, float] = {}
+
+    def setup(self, machine):
+        n = self.words_per_proc * machine.config.nprocs
+        self.data = machine.shm.array(n, "scan.data", align_line=True)
+        self.data.poke_many([float(i % 17) for i in range(n)])
+        self.barrier = Barrier(machine.sync, name="scan.barrier")
+
+    def worker(self, ctx):
+        lo = ctx.pid * self.words_per_proc
+        total = 0.0
+        for i in range(lo, lo + self.words_per_proc):
+            total += yield from self.data.read(i)
+            yield Compute(4)
+        self.totals[ctx.pid] = total
+        yield from self.barrier.wait()
+
+    def verify(self):
+        for pid, total in self.totals.items():
+            lo = pid * self.words_per_proc
+            want = sum(self.data.peek(i) for i in range(lo, lo + self.words_per_proc))
+            assert total == want
+
+
+def _sweep(app_factory):
+    out = {}
+    for depth in DEPTHS:
+        cfg = PAPER_CFG.replace(prefetch_depth=depth)
+        machine, res = run_machine(app_factory(), "RCinv", cfg)
+        out[depth] = (
+            res.mean_read_stall,
+            machine.memsys.prefetches_issued,
+            res.total_time,
+        )
+    return out
+
+
+def test_ablation_prefetch(benchmark):
+    def sweep_both():
+        return {
+            "scan": _sweep(lambda: SequentialScan(256)),
+            "IS": _sweep(lambda: IntegerSort(n_keys=1024, nbuckets=64)),
+        }
+
+    results = run_once(benchmark, sweep_both)
+    print()
+    for app, sweep in results.items():
+        print(f"{app}:")
+        print(f"{'depth':>6s} {'read stall':>12s} {'prefetches':>11s} {'total':>12s}")
+        for depth, (rs, pf, total) in sweep.items():
+            print(f"{depth:6d} {rs:12.1f} {pf:11d} {total:12.1f}")
+
+    scan = results["scan"]
+    assert scan[0][1] == 0 and scan[2][1] > 0
+    # sequential access: a deep enough prefetch window (depth >= latency /
+    # per-line consumption time) hides a good part of the cold misses
+    assert scan[4][0] < 0.8 * scan[0][0]
+    assert scan[4][2] < scan[0][2]
+    # IS's strided exchange: naive prefetch does NOT help (pollution) —
+    # "no one technique is universally applicable"
+    is_sweep = results["IS"]
+    assert is_sweep[2][0] > 0.9 * is_sweep[0][0]

@@ -1,0 +1,40 @@
+"""Ablation: processor-count scaling.
+
+The paper's scalability context (SPASM was built for scalability
+studies): the z-machine speeds up with more processors while the real
+systems' overheads grow with sharing degree.
+"""
+
+from conftest import run_once
+
+from repro import MachineConfig
+from repro.apps import IntegerSort
+from repro.apps.base import run_on
+
+PROCS = (2, 4, 8, 16, 32)
+
+
+def test_ablation_processor_scaling(benchmark):
+    def sweep():
+        out = {}
+        for p in PROCS:
+            cfg = MachineConfig(nprocs=p)
+            app = IntegerSort(n_keys=2048, nbuckets=128)
+            z = run_on(app, "z-mc", cfg)
+            inv = run_on(IntegerSort(n_keys=2048, nbuckets=128), "RCinv", cfg)
+            out[p] = (z.total_time, inv.total_time, inv.overhead_pct)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(f"{'procs':>6s} {'z-mc total':>12s} {'RCinv total':>12s} {'RCinv ovh%':>11s}")
+    for p, (zt, it, pct) in results.items():
+        print(f"{p:6d} {zt:12.1f} {it:12.1f} {pct:10.2f}%")
+
+    # the z-machine keeps scaling: 32 procs beat 2 procs comfortably
+    assert results[32][0] < results[2][0]
+    # overhead fraction grows with processor count on the real system
+    assert results[16][2] > results[2][2]
+    # RCinv is always slower than the ideal machine
+    for p in PROCS:
+        assert results[p][1] > results[p][0]

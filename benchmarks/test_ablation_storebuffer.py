@@ -1,0 +1,37 @@
+"""Ablation: store-buffer depth vs write stall (paper Section 6).
+
+"Write stall time is dependent on two parameters: the store buffer size
+and the relative speed of the network... Increasing the write buffer
+size could potentially increase the buffer flush time."
+"""
+
+from conftest import PAPER_CFG, run_once
+
+from repro.apps import IntegerSort
+from repro.apps.base import run_on
+
+DEPTHS = (1, 2, 4, 8, 16)
+
+
+def test_ablation_store_buffer_depth(benchmark):
+    def sweep():
+        out = {}
+        for depth in DEPTHS:
+            cfg = PAPER_CFG.replace(store_buffer_entries=depth)
+            res = run_on(IntegerSort(n_keys=1024, nbuckets=64), "RCupd", cfg)
+            out[depth] = (res.mean_write_stall, res.mean_buffer_flush, res.total_time)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(f"{'depth':>6s} {'write stall':>12s} {'buf flush':>12s} {'total':>12s}")
+    for depth, (ws, bf, total) in results.items():
+        print(f"{depth:6d} {ws:12.1f} {bf:12.1f} {total:12.1f}")
+
+    # deeper buffers monotonically reduce write stall (more room to hide)
+    ws = [results[d][0] for d in DEPTHS]
+    assert ws[0] >= ws[-1]
+    assert ws[0] > 0  # a 1-entry buffer must stall
+    # and the deepest buffer never beats the shallowest on flush time
+    bf = [results[d][1] for d in DEPTHS]
+    assert bf[-1] >= bf[0] * 0.5  # flush does not vanish with depth

@@ -1,0 +1,45 @@
+"""Ablation: competitive-update threshold (RCcomp design knob).
+
+Low thresholds cut useless update traffic aggressively (invalidate-like:
+fewer messages, more read misses); high thresholds approach pure update
+(RCupd).  At threshold -> infinity RCcomp must converge to RCupd.
+"""
+
+from conftest import PAPER_CFG, run_once
+
+from repro.apps import Maxflow
+from repro.apps.base import run_machine
+
+THRESHOLDS = (1, 2, 4, 8, 10_000)
+
+
+def test_ablation_competitive_threshold(benchmark):
+    def sweep():
+        out = {}
+        for th in THRESHOLDS:
+            cfg = PAPER_CFG.replace(competitive_threshold=th)
+            machine, res = run_machine(
+                Maxflow(n=32, extra_edges=64, seed=0), "RCcomp", cfg
+            )
+            out[th] = (
+                res.mean_read_stall,
+                machine.memsys.updates_sent,
+                machine.memsys.self_invalidations,
+            )
+        # pure-update reference point
+        machine, res = run_machine(Maxflow(n=32, extra_edges=64, seed=0), "RCupd", PAPER_CFG)
+        out["RCupd"] = (res.mean_read_stall, machine.memsys.updates_sent, 0)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(f"{'threshold':>10s} {'read stall':>12s} {'updates':>9s} {'self-inv':>9s}")
+    for th, (rs, upd, si) in results.items():
+        print(f"{str(th):>10s} {rs:12.1f} {upd:9d} {si:9d}")
+
+    # lower thresholds self-invalidate more and send fewer updates
+    assert results[1][2] >= results[8][2]
+    assert results[1][1] <= results[8][1]
+    # a huge threshold behaves exactly like RCupd
+    assert results[10_000][2] == 0
+    assert results[10_000][1] == results["RCupd"][1]

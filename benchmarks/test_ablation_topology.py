@@ -1,0 +1,40 @@
+"""Ablation: interconnect topology.
+
+The SPASM kernel "provides a choice of network topologies"; the paper's
+experiments use the 2-D mesh.  This bench runs IS on a mesh, torus,
+ring and hypercube at equal link speed: richer topologies (shorter
+routes, more bisection bandwidth) must reduce read stall, with the ring
+worst and the hypercube best.
+"""
+
+from conftest import PAPER_CFG, run_once
+
+from repro.apps import IntegerSort
+from repro.apps.base import run_on
+
+TOPOLOGIES = ("ring", "mesh", "torus", "hypercube")
+
+
+def test_ablation_topology(benchmark):
+    def sweep():
+        out = {}
+        for topo in TOPOLOGIES:
+            cfg = PAPER_CFG.replace(topology=topo)
+            res = run_on(IntegerSort(n_keys=1024, nbuckets=64), "RCinv", cfg)
+            out[topo] = (res.mean_read_stall, res.total_time, res.overhead_pct)
+        return out
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(f"{'topology':>10s} {'read stall':>12s} {'total':>12s} {'ovh %':>8s}")
+    for topo, (rs, total, pct) in results.items():
+        print(f"{topo:>10s} {rs:12.1f} {total:12.1f} {pct:7.2f}%")
+
+    # the ring (highest average distance) is the slowest
+    assert results["ring"][1] >= max(
+        results[t][1] for t in ("mesh", "torus", "hypercube")
+    )
+    # the hypercube (log-distance, high bisection) beats the mesh
+    assert results["hypercube"][0] < results["mesh"][0]
+    # the torus never loses to the mesh (its routes are never longer)
+    assert results["torus"][1] <= results["mesh"][1] * 1.02

@@ -1,0 +1,38 @@
+"""Figure 1: inherent communication cost vs overhead (didactic scenario).
+
+Reconstructs the three-processor timeline of the paper's Figure 1 on
+every memory system and checks the classification: an early read pays
+at most the inherent cost L on the z-machine; a late read is free on
+the z-machine but stalls (pure overhead) on every real system.
+"""
+
+from conftest import PAPER_CFG, run_once
+
+from repro import figure1_scenario
+
+
+def test_fig1_timeline(benchmark):
+    def run_all():
+        return {
+            system: figure1_scenario(system, PAPER_CFG)
+            for system in ("z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv")
+        }
+
+    results = run_once(benchmark, run_all)
+    print()
+    print(f"{'system':8s} {'early stall':>12s} {'class':>10s} {'late stall':>12s} {'class':>10s}")
+    for system, t in results.items():
+        print(
+            f"{system:8s} {t.early_read.stall:12.1f} {t.early_kind:>10s} "
+            f"{t.late_read.stall:12.1f} {t.late_kind:>10s}"
+        )
+
+    z = results["z-mc"]
+    assert z.early_kind == "inherent"
+    assert z.early_read.stall <= z.link_latency + 1e-9
+    assert z.late_kind == "hidden"
+    for system, t in results.items():
+        if system == "z-mc":
+            continue
+        assert t.late_kind == "overhead"
+        assert t.late_read.stall > 0

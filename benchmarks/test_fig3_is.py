@@ -1,0 +1,27 @@
+"""Figure 3: Integer Sort execution-time breakdown.
+
+Paper: 32K keys / 1K buckets; large overheads on every real system
+(the kernel is communication-dominated), read stall RCinv ~ RCupd
+(cold misses dominate — no reuse), z-machine ~0%.
+"""
+
+from conftest import PAPER_APPS, PAPER_CFG, run_once
+
+from repro import run_study
+from repro.analysis import format_figure
+
+
+def test_fig3_is(benchmark):
+    factory, _ = PAPER_APPS["IS"]
+    study = run_once(benchmark, lambda: run_study(factory, PAPER_CFG))
+    print()
+    print(format_figure(study, "Figure 3: IS (32K keys, 1K buckets)"))
+
+    assert study.zmachine.overhead_pct < 1.0
+    inv = study.by_system("RCinv")
+    # IS is the most overhead-heavy RCinv app: read stall dominant & large
+    assert inv.overhead_pct > 30.0
+    assert inv.read_stall > inv.write_stall and inv.read_stall > inv.buffer_flush
+    # no significant reuse: the RCinv/RCupd read-stall gap stays small
+    rs_upd = study.by_system("RCupd").read_stall
+    assert inv.read_stall < 3.0 * rs_upd

@@ -1,0 +1,34 @@
+"""Figure 4: Maxflow execution-time breakdown.
+
+Paper: 200-vertex/400-edge graph; random migratory sharing, computation
+per datum small.  Update protocols suffer their largest buffer-flush
+penalties here; RCcomp/RCadapt read stall sits between RCupd's and
+RCinv's because the pattern defeats the established-sharer heuristics.
+"""
+
+from conftest import PAPER_APPS, PAPER_CFG, run_once
+
+from repro import run_study
+from repro.analysis import format_figure
+
+
+def test_fig4_maxflow(benchmark):
+    factory, _ = PAPER_APPS["Maxflow"]
+    study = run_once(benchmark, lambda: run_study(factory, PAPER_CFG))
+    print()
+    print(format_figure(study, "Figure 4: Maxflow (200 vertices, 400 edges)"))
+
+    assert study.zmachine.overhead_pct < 1.0
+    # data reuse exists (vertex data revisited): RCupd cuts read stall
+    rs_inv = study.by_system("RCinv").read_stall
+    rs_upd = study.by_system("RCupd").read_stall
+    assert rs_inv > 1.4 * rs_upd
+    # update-based systems pay heavy flushes at the frequent lock releases
+    bf_inv = study.by_system("RCinv").buffer_flush
+    for name in ("RCupd", "RCcomp", "RCadapt"):
+        assert study.by_system(name).buffer_flush > 0.9 * bf_inv
+    # adaptive/competitive read stall lies between RCupd's and RCinv's
+    for name in ("RCcomp", "RCadapt"):
+        rs = study.by_system(name).read_stall
+        assert rs >= rs_upd * 0.9
+        assert rs <= rs_inv * 1.1

@@ -1,0 +1,33 @@
+"""Table 1: inherent communication and observed costs on the z-machine.
+
+Paper: shared-write counts per application, the writes as a small
+percentage of execution time, and observed (unhidden) communication
+cost ≈ 0 cycles — the basis of the claim that z-machine performance
+matches a PRAM.
+"""
+
+from conftest import PAPER_APPS, PAPER_CFG, run_once
+
+from repro import table1
+from repro.analysis import format_table1
+
+
+def test_table1(benchmark):
+    factories = {name: f for name, (f, _) in PAPER_APPS.items()}
+    rows = run_once(benchmark, lambda: table1(factories, PAPER_CFG))
+    print()
+    print(format_table1(rows))
+
+    assert len(rows) == 4
+    for row in rows:
+        assert row.shared_writes > 0
+        # writes are a minority of execution time (the paper's scaled-up
+        # inputs put this at 0.002-3.8%; our reduced inputs have a higher
+        # write density — see EXPERIMENTS.md)
+        assert row.write_pct < 80.0
+        # the observed (unhidden) cost is essentially zero — the headline
+        # (paper: 0.0 to 54.6 cycles of multi-million-cycle runs)
+        assert row.observed_cost <= 0.02 * row.total_time
+    # Cholesky writes the most shared data (factor columns), as in the paper
+    by_app = {r.app: r for r in rows}
+    assert by_app["Cholesky"].shared_writes > by_app["Nbody"].shared_writes

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Architectural-implication sweeps (paper Section 6).
+
+The paper argues that write stall depends on the store-buffer depth and
+the network/processor speed ratio, and that the competitive-update
+threshold trades read stalls for message traffic.  This example sweeps
+all three knobs (plus the interconnect topology) on the Integer Sort
+kernel using the :func:`repro.core.sweep` API.
+
+Usage:  python examples/architectural_implications.py
+"""
+
+from repro import MachineConfig
+from repro.core import sweep
+from repro.apps import IntegerSort
+
+
+def make_app():
+    return IntegerSort(n_keys=1024, nbuckets=64)
+
+
+def main() -> None:
+    base = MachineConfig(nprocs=16)
+
+    print(
+        sweep(
+            make_app, "store_buffer_entries", [1, 2, 4, 8, 16],
+            system="RCupd", base_config=base,
+        ).format(("mean_write_stall", "mean_buffer_flush", "total_time"))
+    )
+    print()
+    print(
+        sweep(
+            make_app, "cycles_per_byte", [0.4, 0.8, 1.6, 3.2, 6.4],
+            system="RCinv", base_config=base,
+        ).format(("mean_read_stall", "overhead_pct", "total_time"))
+    )
+    print()
+    print(
+        sweep(
+            make_app, "competitive_threshold", [1, 2, 4, 8, 64],
+            system="RCcomp", base_config=base,
+        ).format(("mean_read_stall", "mean_buffer_flush", "total_time"))
+    )
+    print()
+    print(
+        sweep(
+            make_app, "topology", ["ring", "mesh", "torus", "hypercube"],
+            system="RCinv", base_config=base,
+        ).format(("mean_read_stall", "total_time"))
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and table of the paper in one run.
+
+Runs all four applications on all five memory systems (Figures 2-5),
+computes Table 1 on the z-machine, and evaluates the paper's
+qualitative claims.  Scaled-down inputs by default; pass ``--paper``
+for paper-scale inputs (much slower: execution-driven simulation in
+Python).
+
+Usage:  python examples/full_paper_run.py [--paper]
+"""
+
+import sys
+import time
+
+from repro import MachineConfig, run_study, table1_row
+from repro.analysis import format_claims, format_figure, format_table1, standard_claims
+from repro.apps import default_scale, paper_scale
+
+
+def factories(paper: bool):
+    return paper_scale() if paper else default_scale()
+
+
+def main() -> None:
+    paper = "--paper" in sys.argv
+    cfg = MachineConfig(nprocs=16)
+    figure_no = {"Cholesky": 2, "IS": 3, "Maxflow": 4, "Nbody": 5}
+    rows = []
+    for name, (factory, reuse) in factories(paper).items():
+        t0 = time.time()
+        study = run_study(factory, cfg)
+        print(format_figure(study, f"{name} — cf. paper Figure {figure_no[name]}"))
+        print()
+        print(format_claims(standard_claims(study, expect_reuse=reuse)))
+        print(f"(simulated in {time.time() - t0:.1f}s wall time)\n")
+        rows.append(table1_row(factory, cfg))
+    print(format_table1(rows))
+
+
+if __name__ == "__main__":
+    main()

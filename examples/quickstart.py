@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark one application against the z-machine ideal.
+
+Runs the NAS Integer Sort kernel on the z-machine and the four
+release-consistent memory systems of the paper, prints the
+execution-time breakdown (Figure 3 style) and checks the paper's
+qualitative claims.
+
+Usage:  python examples/quickstart.py [nprocs]
+"""
+
+import sys
+
+from repro import MachineConfig, run_study
+from repro.analysis import format_claims, format_figure, standard_claims
+from repro.apps import IntegerSort
+
+
+def main() -> None:
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    cfg = MachineConfig(nprocs=nprocs)
+    print(f"Simulating a {nprocs}-node CC-NUMA machine "
+          f"({cfg.mesh_dims[0]}x{cfg.mesh_dims[1]} mesh, "
+          f"{cfg.cycles_per_byte} cycles/byte)\n")
+    study = run_study(lambda: IntegerSort(n_keys=1024, nbuckets=64), cfg)
+    print(format_figure(study, "Integer Sort (IS) — cf. paper Figure 3"))
+    print()
+    print("Paper claims:")
+    print(format_claims(standard_claims(study, expect_reuse=False)))
+
+
+if __name__ == "__main__":
+    main()

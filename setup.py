@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools lacks a vendored wheel backend
+(legacy editable installs go through this file).
+"""
+
+from setuptools import setup
+
+setup()

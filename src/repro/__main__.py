@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+study    run one application (or all) across memory systems and print
+         the Figure 2-5 style breakdown (optionally CSV/JSON)
+table1   run the four applications on the z-machine and print Table 1
+fig1     print the Figure 1 inherent-cost-vs-overhead scenario
+claims   evaluate the paper's qualitative claims on fresh runs
+systems  list available memory systems and applications
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import MachineConfig, figure1_scenario, run_study, table1
+from .analysis import format_claims, format_figure, format_table1, standard_claims
+from .analysis.report import studies_to_csv, studies_to_json, table1_to_csv
+from .apps import BarnesHut, Cholesky, IntegerSort, Maxflow
+from .mem.systems import PAPER_SYSTEMS, SYSTEM_REGISTRY
+
+#: factory + reuse expectation per application, at moderate default scale
+APP_FACTORIES = {
+    "Cholesky": (lambda: Cholesky(grid=(10, 10)), False),
+    "IS": (lambda: IntegerSort(n_keys=2048, nbuckets=128), False),
+    "Maxflow": (lambda: Maxflow(n=48, extra_edges=96, seed=0), True),
+    "Nbody": (lambda: BarnesHut(n_bodies=128, steps=10, boost_interval=5), True),
+}
+
+
+def _config(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig(nprocs=args.nprocs)
+
+
+def _selected_apps(name: str) -> dict:
+    if name == "all":
+        return APP_FACTORIES
+    if name not in APP_FACTORIES:
+        raise SystemExit(
+            f"unknown application {name!r}; choose from "
+            f"{', '.join(APP_FACTORIES)} or 'all'"
+        )
+    return {name: APP_FACTORIES[name]}
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    cfg = _config(args)
+    systems = tuple(args.systems) if args.systems else PAPER_SYSTEMS
+    for s in systems:
+        if s not in SYSTEM_REGISTRY:
+            raise SystemExit(f"unknown memory system {s!r}")
+    studies = []
+    for name, (factory, _) in _selected_apps(args.app).items():
+        studies.append(run_study(factory, cfg, systems=systems))
+    if args.format == "csv":
+        print(studies_to_csv(studies), end="")
+    elif args.format == "json":
+        print(studies_to_json(studies))
+    else:
+        for study in studies:
+            print(format_figure(study))
+            print()
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    cfg = _config(args)
+    factories = {k: f for k, (f, _) in _selected_apps(args.app).items()}
+    rows = table1(factories, cfg)
+    if args.format == "csv":
+        print(table1_to_csv(rows), end="")
+    else:
+        print(format_table1(rows))
+    return 0
+
+
+def cmd_fig1(args: argparse.Namespace) -> int:
+    cfg = _config(args)
+    print(f"{'system':8s} {'early stall':>12s} {'class':>10s} {'late stall':>12s} {'class':>10s}")
+    for system in ("z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv"):
+        t = figure1_scenario(system, cfg)
+        print(
+            f"{t.system:8s} {t.early_read.stall:12.1f} {t.early_kind:>10s} "
+            f"{t.late_read.stall:12.1f} {t.late_kind:>10s}"
+        )
+    return 0
+
+
+def cmd_claims(args: argparse.Namespace) -> int:
+    cfg = _config(args)
+    all_hold = True
+    for name, (factory, reuse) in _selected_apps(args.app).items():
+        study = run_study(factory, cfg)
+        checks = standard_claims(study, expect_reuse=reuse)
+        print(f"== {name}")
+        print(format_claims(checks))
+        all_hold &= all(c.holds for c in checks)
+    return 0 if all_hold else 1
+
+
+def cmd_systems(args: argparse.Namespace) -> int:
+    print("memory systems:", ", ".join(sorted(SYSTEM_REGISTRY)))
+    print("applications:  ", ", ".join(APP_FACTORIES))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="z-machine overhead benchmarking of shared-memory systems "
+        "(ICPP 1995 reproduction)",
+    )
+    parser.add_argument("--nprocs", type=int, default=16, help="processor count (default 16)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_study = sub.add_parser("study", help="run an overhead study")
+    p_study.add_argument("--app", default="all", help="application name or 'all'")
+    p_study.add_argument("--systems", nargs="*", help="memory systems (default: paper's five)")
+    p_study.add_argument("--format", choices=("text", "csv", "json"), default="text")
+    p_study.set_defaults(func=cmd_study)
+
+    p_t1 = sub.add_parser("table1", help="regenerate Table 1 (z-machine)")
+    p_t1.add_argument("--app", default="all")
+    p_t1.add_argument("--format", choices=("text", "csv"), default="text")
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_f1 = sub.add_parser("fig1", help="Figure 1 scenario across systems")
+    p_f1.set_defaults(func=cmd_fig1)
+
+    p_claims = sub.add_parser("claims", help="evaluate the paper's qualitative claims")
+    p_claims.add_argument("--app", default="all")
+    p_claims.set_defaults(func=cmd_claims)
+
+    p_sys = sub.add_parser("systems", help="list systems and applications")
+    p_sys.set_defaults(func=cmd_systems)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

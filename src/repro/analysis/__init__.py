@@ -1,0 +1,27 @@
+"""Figure/table rendering and claim checking."""
+
+from .claims import (
+    ClaimCheck,
+    check_buffer_flush_order,
+    check_rcinv_read_stall_dominant,
+    check_read_stall_gap,
+    check_write_stall_order,
+    check_zmachine_near_zero,
+    format_claims,
+    standard_claims,
+)
+from .figures import format_comparison, format_figure, format_table1
+
+__all__ = [
+    "ClaimCheck",
+    "check_buffer_flush_order",
+    "check_rcinv_read_stall_dominant",
+    "check_read_stall_gap",
+    "check_write_stall_order",
+    "check_zmachine_near_zero",
+    "format_claims",
+    "format_comparison",
+    "format_figure",
+    "format_table1",
+    "standard_claims",
+]

@@ -1,0 +1,76 @@
+"""ASCII rendering of the paper's figures and tables.
+
+Each of Figures 2-5 is a per-application bar chart: one bar per memory
+system, the bar being total execution time with the three overhead
+components stacked at the top and the overhead percentage printed above.
+We render the same information as text: a stacked horizontal bar per
+system plus the component table.
+"""
+
+from __future__ import annotations
+
+from ..core.study import StudyResult, SystemResult
+from ..core.table1 import Table1Row
+
+_BAR_WIDTH = 56
+
+
+def _bar(sys_res: SystemResult, scale: float) -> str:
+    """One horizontal stacked bar: busy/sync '.', rs 'R', ws 'W', bf 'F'."""
+
+    def w(x: float) -> int:
+        return int(round(x / scale * _BAR_WIDTH)) if scale else 0
+
+    rs = w(sys_res.read_stall)
+    ws = w(sys_res.write_stall)
+    bf = w(sys_res.buffer_flush)
+    rest = max(0, w(sys_res.total_time) - rs - ws - bf)
+    return "." * rest + "R" * rs + "W" * ws + "F" * bf
+
+
+def format_figure(study: StudyResult, title: str = "") -> str:
+    """Render a Figures 2-5 style chart for one application study."""
+    name = title or f"{study.app_name} execution-time breakdown ({study.config.nprocs} procs)"
+    scale = max(s.total_time for s in study.systems)
+    lines = [name, "=" * len(name)]
+    lines.append(
+        f"{'system':8s} {'total':>12s} {'read stl':>10s} {'write stl':>10s} "
+        f"{'buf flush':>10s} {'sync':>10s} {'ovh%':>7s}"
+    )
+    for s in study.systems:
+        lines.append(
+            f"{s.system:8s} {s.total_time:12.0f} {s.read_stall:10.0f} "
+            f"{s.write_stall:10.0f} {s.buffer_flush:10.0f} {s.sync_wait:10.0f} "
+            f"{s.overhead_pct:6.2f}%"
+        )
+    lines.append("")
+    lines.append("bar: '.' busy/sync  'R' read stall  'W' write stall  'F' buffer flush")
+    for s in study.systems:
+        lines.append(f"{s.system:8s} |{_bar(s, scale)}| {s.overhead_pct:.2f}%")
+    return "\n".join(lines)
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render Table 1: inherent communication & observed z-machine costs."""
+    lines = [
+        "Table 1: inherent communication and observed costs on the z-machine",
+        f"{'Application':12s} {'Writes':>10s} {'% of exec':>10s} "
+        f"{'Observed (cyc)':>15s} {'Net cycles':>12s} {'Net %':>8s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.app:12s} {r.shared_writes:10d} {r.write_pct:9.3f}% "
+            f"{r.observed_cost:15.1f} {r.network_cycles:12.1f} {r.network_pct:7.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(study: StudyResult) -> str:
+    """One-line qualitative summary used in reports and benches."""
+    z = study.zmachine
+    parts = [f"{study.app_name}: z-mc ovh {z.overhead_pct:.2f}%"]
+    for s in study.systems:
+        if s.system == "z-mc":
+            continue
+        parts.append(f"{s.system} {s.overhead_pct:.1f}%")
+    return " | ".join(parts)

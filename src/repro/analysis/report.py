@@ -1,0 +1,103 @@
+"""Machine-readable export of study results (CSV / JSON / dict)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from ..core.study import StudyResult
+from ..core.table1 import Table1Row
+
+#: Column order for tabular exports.
+STUDY_FIELDS = (
+    "app",
+    "system",
+    "total_time",
+    "busy",
+    "read_stall",
+    "write_stall",
+    "buffer_flush",
+    "sync_wait",
+    "overhead_pct",
+    "reads",
+    "writes",
+    "read_misses",
+    "network_messages",
+    "network_bytes",
+)
+
+
+def study_rows(study: StudyResult) -> list[dict[str, Any]]:
+    """One dict per (app, system) with the STUDY_FIELDS columns."""
+    rows = []
+    for s in study.systems:
+        rows.append(
+            {
+                "app": study.app_name,
+                "system": s.system,
+                "total_time": s.total_time,
+                "busy": s.busy,
+                "read_stall": s.read_stall,
+                "write_stall": s.write_stall,
+                "buffer_flush": s.buffer_flush,
+                "sync_wait": s.sync_wait,
+                "overhead_pct": s.overhead_pct,
+                "reads": s.reads,
+                "writes": s.writes,
+                "read_misses": s.read_misses,
+                "network_messages": s.network_messages,
+                "network_bytes": s.network_bytes,
+            }
+        )
+    return rows
+
+
+def studies_to_csv(studies: list[StudyResult]) -> str:
+    """Render one or more studies as CSV text."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=STUDY_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for study in studies:
+        for row in study_rows(study):
+            writer.writerow(row)
+    return buf.getvalue()
+
+
+def studies_to_json(studies: list[StudyResult], indent: int | None = 2) -> str:
+    """Render studies (plus machine config) as a JSON document."""
+    doc = []
+    for study in studies:
+        doc.append(
+            {
+                "app": study.app_name,
+                "config": {
+                    "nprocs": study.config.nprocs,
+                    "line_size": study.config.line_size,
+                    "cycles_per_byte": study.config.cycles_per_byte,
+                    "store_buffer_entries": study.config.store_buffer_entries,
+                    "merge_buffer_lines": study.config.merge_buffer_lines,
+                    "cache_lines": study.config.cache_lines,
+                    "competitive_threshold": study.config.competitive_threshold,
+                },
+                "systems": study_rows(study),
+            }
+        )
+    return json.dumps(doc, indent=indent)
+
+
+def table1_to_csv(rows: list[Table1Row]) -> str:
+    """Render Table 1 rows as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        ["app", "shared_writes", "write_pct", "observed_cost", "network_cycles",
+         "network_pct", "total_time"]
+    )
+    for r in rows:
+        writer.writerow(
+            [r.app, r.shared_writes, f"{r.write_pct:.4f}", f"{r.observed_cost:.2f}",
+             f"{r.network_cycles:.2f}", f"{r.network_pct:.4f}", f"{r.total_time:.2f}"]
+        )
+    return buf.getvalue()

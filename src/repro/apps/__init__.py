@@ -1,0 +1,32 @@
+"""The paper's four applications, runnable on any memory system."""
+
+from .barneshut import BarnesHut, reference_run
+from .base import Application, run_machine, run_on
+from .cholesky import Cholesky
+from .intsort import IntegerSort, bucket_stable_ranks
+from .maxflow import Maxflow
+from .presets import default_scale, paper_scale, smoke_scale
+
+#: Factories for the paper's application set, keyed by figure name.
+APP_REGISTRY = {
+    "Cholesky": Cholesky,
+    "IS": IntegerSort,
+    "Maxflow": Maxflow,
+    "Nbody": BarnesHut,
+}
+
+__all__ = [
+    "APP_REGISTRY",
+    "Application",
+    "BarnesHut",
+    "Cholesky",
+    "IntegerSort",
+    "Maxflow",
+    "bucket_stable_ranks",
+    "default_scale",
+    "paper_scale",
+    "smoke_scale",
+    "reference_run",
+    "run_machine",
+    "run_on",
+]

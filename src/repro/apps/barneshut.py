@@ -1,0 +1,206 @@
+"""Barnes-Hut N-body simulation (2-D).
+
+Bodies are statically assigned to processors; every time step runs the
+paper's three phases:
+
+1. **gather/build** — every processor reads all body positions and
+   masses through shared memory and builds its (replicated) quadtree
+   privately.  The body arrays carry the application's producer-consumer
+   pattern: each position is produced by its owner and consumed by all
+   processors, so update-based protocols deliver new positions into
+   caches while the invalidate protocol pays a miss per line per step.
+2. **force** — forces on owned bodies are computed from the private
+   tree (pure computation).
+3. **update** — owners integrate and write back their bodies' positions
+   and velocities.
+
+Every ``boost_interval`` steps the body-to-processor assignment rotates,
+emulating the paper's "artificial boost to affect the sharing pattern
+every 10 time steps" (the set of producers for each line changes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from ..runtime.context import AppContext, Machine
+from ..runtime.primitives import Barrier
+from ..sim.events import Compute, Op
+from ..workloads.bodies import BodySet, uniform_disc
+from .base import Application
+from .costs import FDIV, FLOP, FMA, FSQRT, INT_OP, LOOP_OVERHEAD
+from .quadtree import QuadTree, build_tree, force_reference, opens
+
+#: cycles per quadtree node allocated/summarised during the build phase
+_BUILD_NODE_COST = 12 * INT_OP + 4 * FLOP
+#: cycles per insertion descent level
+_INSERT_LEVEL_COST = 6 * INT_OP
+
+
+def traversal_cost(tree: QuadTree, i: int, xs, ys, theta: float, eps: float) -> float:
+    """Cycles for the force traversal of body ``i`` (mirrors
+    :func:`force_reference`'s control flow)."""
+    x, y = xs[i], ys[i]
+    cycles = 0.0
+    stack = [0]
+    while stack:
+        nid = stack.pop()
+        b = tree.body[nid]
+        cycles += LOOP_OVERHEAD + INT_OP
+        if b >= 0:
+            if b != i:
+                cycles += 4 * FMA + FSQRT + FDIV
+            continue
+        dx = tree.comx[nid] - x
+        dy = tree.comy[nid] - y
+        cycles += 3 * FLOP
+        if not opens(tree.half[nid], dx, dy, eps, theta):
+            cycles += 4 * FMA + FSQRT + FDIV
+        else:
+            for q in range(3, -1, -1):
+                c = tree.child[4 * nid + q]
+                cycles += INT_OP
+                if c != -1:
+                    stack.append(c)
+    return cycles
+
+
+def reference_run(
+    bodies: BodySet, steps: int, dt: float, theta: float, eps: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sequential Barnes-Hut with the same arithmetic as the parallel
+    version; returns final (pos, vel)."""
+    xs = [float(v) for v in bodies.pos[:, 0]]
+    ys = [float(v) for v in bodies.pos[:, 1]]
+    vx = [float(v) for v in bodies.vel[:, 0]]
+    vy = [float(v) for v in bodies.vel[:, 1]]
+    ms = [float(v) for v in bodies.mass]
+    n = len(ms)
+    for _ in range(steps):
+        tree = build_tree(xs, ys, ms)
+        acc = [force_reference(tree, i, xs, ys, theta, eps) for i in range(n)]
+        for i in range(n):
+            vx[i] += acc[i][0] * dt
+            vy[i] += acc[i][1] * dt
+            xs[i] += vx[i] * dt
+            ys[i] += vy[i] * dt
+    return np.column_stack([xs, ys]), np.column_stack([vx, vy])
+
+
+class BarnesHut(Application):
+    """Parallel Barnes-Hut on the simulated shared-memory machine."""
+
+    name = "Nbody"
+
+    def __init__(
+        self,
+        bodies: BodySet | None = None,
+        n_bodies: int = 128,
+        steps: int = 10,
+        dt: float = 0.02,
+        theta: float = 0.5,
+        eps: float = 0.05,
+        boost_interval: int = 5,
+        seed: int = 0,
+    ):
+        self.bodies = bodies if bodies is not None else uniform_disc(n_bodies, seed=seed)
+        self.n = self.bodies.n
+        self.steps = steps
+        self.dt = dt
+        self.theta = theta
+        self.eps = eps
+        self.boost_interval = boost_interval
+        self._machine: Machine | None = None
+
+    # ------------------------------------------------------------------
+    def setup(self, machine: Machine) -> None:
+        self._machine = machine
+        shm, sync = machine.shm, machine.sync
+        n = self.n
+        self.px = shm.array(n, "px", align_line=True)
+        self.py = shm.array(n, "py", align_line=True)
+        self.vx = shm.array(n, "vx", align_line=True)
+        self.vy = shm.array(n, "vy", align_line=True)
+        self.ms = shm.array(n, "mass", align_line=True)
+        self.px.poke_many([float(v) for v in self.bodies.pos[:, 0]])
+        self.py.poke_many([float(v) for v in self.bodies.pos[:, 1]])
+        self.vx.poke_many([float(v) for v in self.bodies.vel[:, 0]])
+        self.vy.poke_many([float(v) for v in self.bodies.vel[:, 1]])
+        self.ms.poke_many([float(v) for v in self.bodies.mass])
+        self.barrier = Barrier(sync, name="bh.barrier")
+
+    def _partition(self, pid: int, nprocs: int, step: int) -> tuple[int, int]:
+        """Body slice owned by ``pid`` at ``step`` (rotates on boosts)."""
+        shift = (step // self.boost_interval) % nprocs if self.boost_interval else 0
+        owner = (pid + shift) % nprocs
+        per = (self.n + nprocs - 1) // nprocs
+        lo = min(owner * per, self.n)
+        return lo, min(lo + per, self.n)
+
+    # ------------------------------------------------------------------
+    def worker(self, ctx: AppContext) -> Generator[Op, None, None]:
+        n = self.n
+        # Masses are static: read them once (cold misses only).
+        ms = yield from self.ms.read_range(0, n)
+        # Velocities are consumed only by the owning processor, so they
+        # live in private storage and migrate through the shared arrays
+        # only when the assignment rotates (and at the end of the run).
+        vxs: list[float] = []
+        vys: list[float] = []
+        prev_slice: tuple[int, int] | None = None
+        for step in range(self.steps):
+            lo, hi = self._partition(ctx.pid, ctx.nprocs, step)
+            if (lo, hi) != prev_slice:
+                vxs = yield from self.vx.read_range(lo, hi)
+                vys = yield from self.vy.read_range(lo, hi)
+                prev_slice = (lo, hi)
+            # Phase 1: gather all positions, build the replicated tree.
+            xs = yield from self.px.read_range(0, n)
+            ys = yield from self.py.read_range(0, n)
+            tree = build_tree(xs, ys, ms)
+            yield Compute(
+                tree.nnodes * _BUILD_NODE_COST + n * 4 * _INSERT_LEVEL_COST
+            )
+            # Phase 2: forces on owned bodies (private computation).
+            acc: dict[int, tuple[float, float]] = {}
+            for i in range(lo, hi):
+                acc[i] = force_reference(tree, i, xs, ys, self.theta, self.eps)
+                yield Compute(traversal_cost(tree, i, xs, ys, self.theta, self.eps))
+            yield from self.barrier.wait()
+            # Phase 3: integrate owned bodies and publish positions.
+            # Writes go in per-array passes so consecutive words of a
+            # cache line coalesce in the merge buffer.
+            nxs, nys = [], []
+            for k, i in enumerate(range(lo, hi)):
+                ax, ay = acc[i]
+                vxs[k] += ax * self.dt
+                vys[k] += ay * self.dt
+                nxs.append(xs[i] + vxs[k] * self.dt)
+                nys.append(ys[i] + vys[k] * self.dt)
+                yield Compute(4 * FMA + LOOP_OVERHEAD)
+            yield from self.px.write_range(lo, nxs)
+            yield from self.py.write_range(lo, nys)
+            last_of_epoch = (
+                step == self.steps - 1
+                or self._partition(ctx.pid, ctx.nprocs, step + 1) != (lo, hi)
+            )
+            if last_of_epoch:
+                yield from self.vx.write_range(lo, vxs)
+                yield from self.vy.write_range(lo, vys)
+            yield from self.barrier.wait()
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        want_pos, want_vel = reference_run(
+            self.bodies, self.steps, self.dt, self.theta, self.eps
+        )
+        got_pos = np.column_stack([self.px.snapshot(), self.py.snapshot()])
+        got_vel = np.column_stack([self.vx.snapshot(), self.vy.snapshot()])
+        if not np.allclose(got_pos, want_pos, rtol=1e-10, atol=1e-12):
+            err = float(np.abs(got_pos - want_pos).max())
+            raise AssertionError(f"Barnes-Hut positions diverge, max err {err}")
+        if not np.allclose(got_vel, want_vel, rtol=1e-10, atol=1e-12):
+            err = float(np.abs(got_vel - want_vel).max())
+            raise AssertionError(f"Barnes-Hut velocities diverge, max err {err}")

@@ -1,0 +1,72 @@
+"""Application interface.
+
+An :class:`Application` owns its shared state for one simulation run:
+``setup(machine)`` allocates shared arrays and synchronisation objects,
+``worker(ctx)`` is the SPMD thread body, and ``verify()`` checks the
+computed result against an independent reference — the execution-driven
+simulator runs the *real* algorithm, so every run is checkable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from ..config import MachineConfig
+from ..runtime.context import AppContext, Machine
+from ..sim.events import Op
+from ..sim.stats import SimResult
+
+
+class Application:
+    """Base class for the paper's four applications."""
+
+    #: Canonical name used in figures and tables.
+    name = "app"
+
+    def setup(self, machine: Machine) -> None:
+        raise NotImplementedError
+
+    def worker(self, ctx: AppContext) -> Generator[Op, None, None]:
+        raise NotImplementedError
+
+    def verify(self) -> None:
+        """Raise AssertionError if the computed result is wrong."""
+        raise NotImplementedError
+
+
+def run_on(
+    app: Application,
+    system: str,
+    config: MachineConfig,
+    verify: bool = True,
+    max_ops: int | None = None,
+) -> SimResult:
+    """Run a fresh application instance on one memory system.
+
+    ``app`` must be newly constructed (applications hold mutable shared
+    state).  Returns the :class:`SimResult`; the machine's memory system
+    and network are attached as ``result.extra`` style attributes via the
+    returned machine in :func:`run_machine` when more detail is needed.
+    """
+    machine = Machine(config, system, max_ops=max_ops)
+    app.setup(machine)
+    result = machine.run(app.worker)
+    if verify:
+        app.verify()
+    return result
+
+
+def run_machine(
+    app: Application,
+    system: str,
+    config: MachineConfig,
+    verify: bool = True,
+    max_ops: int | None = None,
+) -> tuple[Machine, SimResult]:
+    """Like :func:`run_on` but also returns the machine for inspection."""
+    machine = Machine(config, system, max_ops=max_ops)
+    app.setup(machine)
+    result = machine.run(app.worker)
+    if verify:
+        app.verify()
+    return machine, result

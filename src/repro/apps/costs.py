@@ -1,0 +1,25 @@
+"""Computation cost model.
+
+SPASM counted the actual instructions of compiled application code; our
+applications charge explicit cycle costs per arithmetic operation
+instead (see DESIGN.md, substitutions).  The constants below set the
+computation-to-communication ratio; they approximate a scalar early-90s
+RISC core (single-issue, multi-cycle FP).
+"""
+
+from __future__ import annotations
+
+#: Integer ALU op (add/compare/index arithmetic).
+INT_OP = 1.0
+#: Floating-point add/multiply.
+FLOP = 4.0
+#: Fused cost of one floating multiply-add.
+FMA = 6.0
+#: Floating divide.
+FDIV = 20.0
+#: Square root.
+FSQRT = 30.0
+#: Branch + loop bookkeeping per iteration.
+LOOP_OVERHEAD = 2.0
+#: Function-call style overhead for a task dispatch.
+DISPATCH = 10.0

@@ -1,0 +1,141 @@
+"""NAS Integer Sort (IS) kernel: parallel bucket-sort ranking.
+
+Each processor histograms its static slice of the key array into
+buckets, the per-processor histograms are combined into global bucket
+counts, a prefix sum produces bucket start offsets, and every processor
+ranks its own keys.  The communication pattern is statically defined —
+an all-to-all exchange of histograms — which is why the paper sees
+little reuse benefit from update protocols on IS (cold misses dominate).
+
+Paper problem size: 32K keys, 1K buckets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from ..runtime.context import AppContext, Machine
+from ..runtime.primitives import Barrier
+from ..sim.events import Compute, Op
+from ..workloads.keys import nas_keys
+from .base import Application
+from .costs import INT_OP, LOOP_OVERHEAD
+
+
+def bucket_stable_ranks(keys: np.ndarray, nbuckets: int, max_key: int) -> np.ndarray:
+    """Reference ranks: stable sort by bucket then original index."""
+    buckets = keys * nbuckets // max_key
+    order = np.argsort(buckets, kind="stable")
+    ranks = np.empty(len(keys), dtype=np.int64)
+    ranks[order] = np.arange(len(keys))
+    return ranks
+
+
+class IntegerSort(Application):
+    """Parallel bucket-sort ranking of integer keys."""
+
+    name = "IS"
+
+    def __init__(
+        self,
+        n_keys: int = 2048,
+        nbuckets: int = 128,
+        max_key: int | None = None,
+        seed: int = 0,
+    ):
+        if n_keys < 1 or nbuckets < 1:
+            raise ValueError("n_keys and nbuckets must be positive")
+        self.n = n_keys
+        self.nbuckets = nbuckets
+        self.max_key = max_key if max_key is not None else nbuckets
+        if self.max_key < nbuckets:
+            raise ValueError("max_key must be >= nbuckets")
+        self.keys_np = nas_keys(n_keys, self.max_key, seed=seed)
+        self._machine: Machine | None = None
+
+    # ------------------------------------------------------------------
+    def setup(self, machine: Machine) -> None:
+        self._machine = machine
+        shm, sync = machine.shm, machine.sync
+        p = machine.config.nprocs
+        b = self.nbuckets
+        self.keys = shm.array(self.n, "keys", align_line=True)
+        self.keys.poke_many([int(k) for k in self.keys_np])
+        #: per-processor histograms, proc-major layout
+        self.hist = shm.array(p * b, "hist", fill=0, align_line=True)
+        self.gcount = shm.array(b, "gcount", fill=0, align_line=True)
+        self.gstart = shm.array(b, "gstart", fill=0, align_line=True)
+        self.ranks = shm.array(self.n, "ranks", fill=-1, align_line=True)
+        self.barrier = Barrier(sync, name="is.barrier")
+
+    def _slice(self, pid: int, nprocs: int, total: int) -> tuple[int, int]:
+        per = (total + nprocs - 1) // nprocs
+        lo = min(pid * per, total)
+        return lo, min(lo + per, total)
+
+    def _bucket(self, key: int) -> int:
+        return key * self.nbuckets // self.max_key
+
+    # ------------------------------------------------------------------
+    def worker(self, ctx: AppContext) -> Generator[Op, None, None]:
+        p, b = ctx.nprocs, self.nbuckets
+        pid = ctx.pid
+        lo, hi = self._slice(pid, p, self.n)
+
+        # Phase 1: local histogram of this processor's key slice.
+        local_hist = [0] * b
+        my_keys: list[int] = []
+        for i in range(lo, hi):
+            k = yield from self.keys.read(i)
+            my_keys.append(int(k))
+            local_hist[self._bucket(int(k))] += 1
+            # bucket index arithmetic, bounds checks, loop control
+            yield Compute(12 * INT_OP + LOOP_OVERHEAD)
+        yield from self.hist.write_range(pid * b, local_hist)
+        yield Compute(b * LOOP_OVERHEAD)
+        yield from self.barrier.wait()
+
+        # Phase 2: combine histograms for this processor's bucket range.
+        blo, bhi = self._slice(pid, p, b)
+        for bucket in range(blo, bhi):
+            total = 0
+            for q in range(p):
+                total += int((yield from self.hist.read(q * b + bucket)))
+                yield Compute(INT_OP + LOOP_OVERHEAD)
+            yield from self.gcount.write(bucket, total)
+        yield from self.barrier.wait()
+
+        # Phase 3: prefix sum over buckets (serial: algorithmic component).
+        if pid == 0:
+            running = 0
+            for bucket in range(b):
+                yield from self.gstart.write(bucket, running)
+                running += int((yield from self.gcount.read(bucket)))
+                yield Compute(2 * INT_OP + LOOP_OVERHEAD)
+        yield from self.barrier.wait()
+
+        # Phase 4: rank own keys.  Offset of this processor within each
+        # bucket = global bucket start + counts of lower-numbered procs.
+        offsets: dict[int, int] = {}
+        for bucket in sorted(set(self._bucket(k) for k in my_keys)):
+            start = int((yield from self.gstart.read(bucket)))
+            for q in range(pid):
+                start += int((yield from self.hist.read(q * b + bucket)))
+                yield Compute(INT_OP + LOOP_OVERHEAD)
+            offsets[bucket] = start
+        for idx, k in enumerate(my_keys):
+            bucket = self._bucket(k)
+            yield from self.ranks.write(lo + idx, offsets[bucket])
+            offsets[bucket] += 1
+            yield Compute(12 * INT_OP + LOOP_OVERHEAD)
+        yield from self.barrier.wait()
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        got = np.array(self.ranks.snapshot(), dtype=np.int64)
+        want = bucket_stable_ranks(self.keys_np, self.nbuckets, self.max_key)
+        if not np.array_equal(got, want):
+            bad = int(np.count_nonzero(got != want))
+            raise AssertionError(f"IS ranks wrong for {bad}/{self.n} keys")

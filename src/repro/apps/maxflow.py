@@ -1,0 +1,257 @@
+"""Parallel Maxflow: Goldberg's push-relabel algorithm.
+
+Follows the Anderson-Setubal parallel implementation the paper uses:
+each processor discharges active vertices from a *local* work queue;
+local queues interact with a *global* queue for load balancing; vertex
+data (excess, height, arc flows) lives in shared memory guarded by
+per-vertex locks (pairs acquired in vertex-id order).  The
+producer-consumer relationship is dynamic and essentially random, and
+the computation per datum is small — the paper's most
+communication-bound application.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Generator
+
+from ..runtime.context import AppContext, Machine
+from ..runtime.primitives import Lock
+from ..runtime.workqueue import CentralQueue
+from ..sim.events import Compute, Op
+from ..workloads.graphs import FlowNetwork, random_flow_network
+from .base import Application
+from .costs import DISPATCH, INT_OP, LOOP_OVERHEAD
+
+#: Local-queue length beyond which half the work is shared globally.
+_LOCAL_HIGH = 8
+#: Cycles of backoff between termination-check polls.
+_POLL_BACKOFF = 200.0
+
+
+class Maxflow(Application):
+    """Push-relabel max-flow with local queues + global load balancing."""
+
+    name = "Maxflow"
+
+    def __init__(self, net: FlowNetwork | None = None, n: int = 64, extra_edges: int = 128, seed: int = 0):
+        self.net = net if net is not None else random_flow_network(n, extra_edges, seed=seed)
+        self._machine: Machine | None = None
+
+    # ------------------------------------------------------------------
+    def setup(self, machine: Machine) -> None:
+        self._machine = machine
+        shm, sync = machine.shm, machine.sync
+        net = self.net
+        n, m = net.n, net.num_arcs
+        self.excess = shm.array(n, "excess", fill=0, align_line=True)
+        self.height = shm.array(n, "height", fill=0, align_line=True)
+        self.flow = shm.array(m, "flow", fill=0, align_line=True)
+        self.cap = shm.array(m, "cap", fill=0, align_line=True)
+        self.cap.poke_many([int(c) for c in net.cap])
+        self.active = shm.array(n, "active", fill=0, align_line=True)
+        self.active_count = shm.scalar("mf.active_count", fill=0)
+        self.count_lock = Lock(sync, name="mf.count_lock")
+        self.vlocks = [Lock(sync, name=f"mf.v{v}") for v in range(n)]
+        self.global_q = CentralQueue(shm, sync, capacity=4 * n + 8, name="mf.global")
+
+        # Initial preflow: saturate the source's out-arcs (setup time).
+        s, t = net.source, net.sink
+        self.height.poke(s, n)
+        initial_active: list[int] = []
+        for e in net.adj[s]:
+            e = int(e)
+            if net.tail[e] != s:
+                continue
+            c = int(net.cap[e])
+            if c <= 0:
+                continue
+            w = int(net.head[e])
+            self.flow.poke(e, c)
+            self.flow.poke(e ^ 1, -c)
+            self.excess.poke(w, self.excess.peek(w) + c)
+            self.excess.poke(s, self.excess.peek(s) - c)
+            if w not in (s, t) and self.active.peek(w) == 0 and self.excess.peek(w) > 0:
+                self.active.poke(w, 1)
+                initial_active.append(w)
+        self.active_count.poke(0, len(initial_active))
+        # Deal initial work round-robin to the processors' local queues.
+        p = machine.config.nprocs
+        self._seeds: list[list[int]] = [[] for _ in range(p)]
+        for k, v in enumerate(initial_active):
+            self._seeds[k % p].append(v)
+
+    # ------------------------------------------------------------------
+    def _bump_active(self, delta: int) -> Generator[Op, None, None]:
+        yield from self.count_lock.acquire()
+        yield from self.active_count.incr(delta)
+        yield from self.count_lock.release()
+
+    def worker(self, ctx: AppContext) -> Generator[Op, None, None]:
+        net = self.net
+        s, t = net.source, net.sink
+        local: deque[int] = deque(self._seeds[ctx.pid])
+        while True:
+            if local:
+                v = local.popleft()
+            else:
+                v = yield from self.global_q.get()
+                if v is None:
+                    remaining = yield from self.active_count.get()
+                    if remaining <= 0:
+                        break
+                    yield Compute(_POLL_BACKOFF)
+                    continue
+            yield Compute(DISPATCH)
+            newly_active = yield from self._discharge(ctx, v)
+            for w in newly_active:
+                local.append(w)
+            if len(local) > _LOCAL_HIGH:
+                # Load balancing: push the back half to the global queue.
+                while len(local) > _LOCAL_HIGH // 2:
+                    yield from self.global_q.put(local.pop())
+
+    def _discharge(self, ctx: AppContext, v: int) -> Generator[Op, None, list[int]]:
+        """Discharge vertex ``v`` until its excess is gone.
+
+        Returns vertices that became active (to enqueue).  ``v`` is
+        deactivated (and the global active count decremented) before
+        returning; a late push that re-activates it is handled by the
+        pusher seeing active[v] == 0.
+        """
+        net = self.net
+        s, t = net.source, net.sink
+        new_active: list[int] = []
+        while True:
+            ev = yield from self.excess.read(v)
+            if ev <= 0:
+                break
+            pushed = False
+            hv = yield from self.height.read(v)
+            for e in net.adj[v]:
+                e = int(e)
+                if int(net.tail[e]) != v:
+                    continue
+                w = int(net.head[e])
+                yield Compute(2 * INT_OP + LOOP_OVERHEAD)
+                hw = yield from self.height.read(w)
+                if hv != hw + 1:
+                    continue
+                c = yield from self.cap.read(e)
+                f = yield from self.flow.read(e)
+                if c - f <= 0:
+                    continue
+                woke = yield from self._push(v, w, e)
+                if woke is not None:
+                    new_active.append(woke)
+                pushed = True
+                ev = yield from self.excess.read(v)
+                if ev <= 0:
+                    break
+            if ev <= 0:
+                break
+            if not pushed:
+                lifted = yield from self._relabel(v)
+                if not lifted:
+                    # No residual arc at all: trapped excess (cannot
+                    # happen on connected inputs; guard against hangs).
+                    break
+                hv = yield from self.height.read(v)
+        # Deactivate v under its lock, re-checking for late pushes.
+        yield from self.vlocks[v].acquire()
+        ev = yield from self.excess.read(v)
+        if ev > 0 and v not in (s, t):
+            yield from self.vlocks[v].release()
+            new_active.append(v)
+            return new_active
+        yield from self.active.write(v, 0)
+        yield from self.vlocks[v].release()
+        yield from self._bump_active(-1)
+        return new_active
+
+    def _push(self, v: int, w: int, e: int) -> Generator[Op, None, int | None]:
+        """Push along arc ``e`` = (v, w) under the pair of vertex locks.
+
+        Returns ``w`` if it became active and should be enqueued.
+        """
+        net = self.net
+        s, t = net.source, net.sink
+        a, b = (v, w) if v < w else (w, v)
+        yield from self.vlocks[a].acquire()
+        yield from self.vlocks[b].acquire()
+        woke: int | None = None
+        ev = yield from self.excess.read(v)
+        hv = yield from self.height.read(v)
+        hw = yield from self.height.read(w)
+        c = yield from self.cap.read(e)
+        f = yield from self.flow.read(e)
+        delta = min(ev, c - f)
+        yield Compute(6 * INT_OP)
+        if delta > 0 and hv == hw + 1:
+            yield from self.flow.write(e, f + delta)
+            fr = yield from self.flow.read(e ^ 1)
+            yield from self.flow.write(e ^ 1, fr - delta)
+            yield from self.excess.write(v, ev - delta)
+            ew = yield from self.excess.read(w)
+            yield from self.excess.write(w, ew + delta)
+            if w not in (s, t) and ew == 0:
+                is_active = yield from self.active.read(w)
+                if not is_active:
+                    yield from self.active.write(w, 1)
+                    woke = w
+        yield from self.vlocks[b].release()
+        yield from self.vlocks[a].release()
+        if woke is not None:
+            yield from self._bump_active(+1)
+        return woke
+
+    def _relabel(self, v: int) -> Generator[Op, None, bool]:
+        """Lift ``v`` to one above its lowest residual neighbour."""
+        net = self.net
+        yield from self.vlocks[v].acquire()
+        best: int | None = None
+        for e in net.adj[v]:
+            e = int(e)
+            if int(net.tail[e]) != v:
+                continue
+            c = yield from self.cap.read(e)
+            f = yield from self.flow.read(e)
+            yield Compute(2 * INT_OP + LOOP_OVERHEAD)
+            if c - f <= 0:
+                continue
+            hw = yield from self.height.read(int(net.head[e]))
+            if best is None or hw < best:
+                best = int(hw)
+        if best is None:
+            yield from self.vlocks[v].release()
+            return False
+        hv = yield from self.height.read(v)
+        if best + 1 > hv:
+            yield from self.height.write(v, best + 1)
+        yield from self.vlocks[v].release()
+        return True
+
+    # ------------------------------------------------------------------
+    def flow_value(self) -> int:
+        return int(self.excess.peek(self.net.sink))
+
+    def verify(self) -> None:
+        from ..workloads.graphs import reference_max_flow
+
+        net = self.net
+        got = self.flow_value()
+        want = reference_max_flow(net)
+        if got != want:
+            raise AssertionError(f"max-flow value {got} != reference {want}")
+        # Conservation and capacity invariants.
+        for v in range(net.n):
+            if v in (net.source, net.sink):
+                continue
+            if self.excess.peek(v) != 0:
+                raise AssertionError(f"vertex {v} left with excess {self.excess.peek(v)}")
+        for e in range(net.num_arcs):
+            f = self.flow.peek(e)
+            if f > net.cap[e]:
+                raise AssertionError(f"arc {e} over capacity: {f} > {net.cap[e]}")
+            if self.flow.peek(e ^ 1) != -f:
+                raise AssertionError(f"arc pair {e} antisymmetry violated")

@@ -1,0 +1,60 @@
+"""Input presets: the paper's problem sizes and scaled-down defaults.
+
+The paper's inputs (Section 5):
+
+* Cholesky — 1086x1086 sparse SPD matrix, 30,824 non-zeros, 110,461 in
+  the factor, 506 supernodes;
+* IS — 32K integers, 1K buckets;
+* Maxflow — 200 vertices, 400 bidirectional edges;
+* Barnes-Hut — 128 bodies, 50 time steps, sharing boost every 10 steps.
+
+``paper_scale()`` builds application factories at those sizes (for the
+matrix we generate a grid Laplacian with a comparable non-zero count —
+a 33x33 grid gives 1089 columns, the closest square to the paper's
+1086).  Expect long wall-clock times: this is execution-driven
+simulation in Python.  ``default_scale()`` is the reduced configuration
+used by the benchmark harness; ``smoke_scale()`` is for tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .barneshut import BarnesHut
+from .base import Application
+from .cholesky import Cholesky
+from .intsort import IntegerSort
+from .maxflow import Maxflow
+
+#: (factory, expect_reuse) per application name.
+Preset = dict[str, tuple[Callable[[], Application], bool]]
+
+
+def paper_scale() -> Preset:
+    """The paper's input sizes (slow: minutes per system per app)."""
+    return {
+        "Cholesky": (lambda: Cholesky(grid=(33, 33)), False),
+        "IS": (lambda: IntegerSort(n_keys=32768, nbuckets=1024), False),
+        "Maxflow": (lambda: Maxflow(n=200, extra_edges=400, seed=0), True),
+        "Nbody": (lambda: BarnesHut(n_bodies=128, steps=50, boost_interval=10), True),
+    }
+
+
+def default_scale() -> Preset:
+    """The benchmark harness's reduced inputs (seconds per run)."""
+    return {
+        "Cholesky": (lambda: Cholesky(grid=(10, 10)), False),
+        "IS": (lambda: IntegerSort(n_keys=2048, nbuckets=128), False),
+        "Maxflow": (lambda: Maxflow(n=48, extra_edges=96, seed=0), True),
+        "Nbody": (lambda: BarnesHut(n_bodies=128, steps=10, boost_interval=5), True),
+    }
+
+
+def smoke_scale() -> Preset:
+    """Tiny inputs for fast tests."""
+    return {
+        "Cholesky": (lambda: Cholesky(grid=(4, 4)), False),
+        "IS": (lambda: IntegerSort(n_keys=128, nbuckets=16), False),
+        "Maxflow": (lambda: Maxflow(n=12, extra_edges=18, seed=1), True),
+        "Nbody": (lambda: BarnesHut(n_bodies=12, steps=2, boost_interval=1), True),
+    }

@@ -1,0 +1,173 @@
+"""2-D Barnes-Hut quadtree (pure-Python substrate).
+
+Used in two ways: the simulated application's tree-build phase runs this
+code on values it read through the simulated shared memory, and the
+sequential reference implementation runs the same code on plain arrays —
+so the parallel run can be verified bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import sqrt
+
+#: Maximum insertion depth; beyond it coincident bodies are merged.
+MAX_DEPTH = 48
+
+
+@dataclass
+class QuadTree:
+    """Flat quadtree: arrays indexed by node id, root is node 0.
+
+    Leaves hold one body (``body[nid] >= 0``); internal nodes hold four
+    child slots (-1 = empty) and the centre of mass of their subtree.
+    """
+
+    cx: list[float] = field(default_factory=list)
+    cy: list[float] = field(default_factory=list)
+    half: list[float] = field(default_factory=list)
+    comx: list[float] = field(default_factory=list)
+    comy: list[float] = field(default_factory=list)
+    mass: list[float] = field(default_factory=list)
+    child: list[int] = field(default_factory=list)  # 4 slots per node
+    body: list[int] = field(default_factory=list)
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.cx)
+
+    def _new_node(self, cx: float, cy: float, half: float) -> int:
+        nid = len(self.cx)
+        self.cx.append(cx)
+        self.cy.append(cy)
+        self.half.append(half)
+        self.comx.append(0.0)
+        self.comy.append(0.0)
+        self.mass.append(0.0)
+        self.child.extend([-1, -1, -1, -1])
+        self.body.append(-1)
+        return nid
+
+    def _quadrant(self, nid: int, x: float, y: float) -> tuple[int, float, float]:
+        """(quadrant index, child centre x, child centre y)."""
+        q = 0
+        h = self.half[nid] / 2.0
+        cx, cy = self.cx[nid], self.cy[nid]
+        if x >= cx:
+            q |= 1
+            ccx = cx + h
+        else:
+            ccx = cx - h
+        if y >= cy:
+            q |= 2
+            ccy = cy + h
+        else:
+            ccy = cy - h
+        return q, ccx, ccy
+
+    def _insert(self, nid: int, b: int, xs, ys, ms, depth: int) -> None:
+        if self.body[nid] == -1 and all(
+            self.child[4 * nid + q] == -1 for q in range(4)
+        ):
+            self.body[nid] = b  # empty leaf
+            return
+        if self.body[nid] >= 0:
+            old = self.body[nid]
+            if depth >= MAX_DEPTH:
+                # Coincident bodies: aggregate into the resident body.
+                ms[old] += ms[b]
+                return
+            self.body[nid] = -1
+            self._push_down(nid, old, xs, ys, ms, depth)
+        self._push_down(nid, b, xs, ys, ms, depth)
+
+    def _push_down(self, nid: int, b: int, xs, ys, ms, depth: int) -> None:
+        q, ccx, ccy = self._quadrant(nid, xs[b], ys[b])
+        slot = 4 * nid + q
+        if self.child[slot] == -1:
+            self.child[slot] = self._new_node(ccx, ccy, self.half[nid] / 2.0)
+        self._insert(self.child[slot], b, xs, ys, ms, depth + 1)
+
+    def _summarise(self, nid: int) -> tuple[float, float, float]:
+        b = self.body[nid]
+        if b >= 0:
+            m, mx, my = self._body_moments[b]
+            self.mass[nid] = m
+            self.comx[nid] = mx / m
+            self.comy[nid] = my / m
+            return m, mx, my
+        m = mx = my = 0.0
+        for q in range(4):
+            c = self.child[4 * nid + q]
+            if c != -1:
+                cm, cmx, cmy = self._summarise(c)
+                m += cm
+                mx += cmx
+                my += cmy
+        self.mass[nid] = m
+        self.comx[nid] = mx / m if m else 0.0
+        self.comy[nid] = my / m if m else 0.0
+        return m, mx, my
+
+
+def build_tree(xs, ys, ms) -> QuadTree:
+    """Build the quadtree for bodies at (xs, ys) with masses ms."""
+    n = len(xs)
+    if n == 0:
+        raise ValueError("cannot build a tree with no bodies")
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    half = max(xmax - xmin, ymax - ymin, 1e-9) / 2.0 * 1.0001
+    tree = QuadTree()
+    tree._new_node((xmin + xmax) / 2.0, (ymin + ymax) / 2.0, half)
+    ms = list(ms)  # aggregation may modify masses locally
+    for b in range(n):
+        tree._insert(0, b, xs, ys, ms, 0)
+    tree._body_moments = [
+        (ms[b], ms[b] * xs[b], ms[b] * ys[b]) for b in range(n)
+    ]
+    tree._summarise(0)
+    return tree
+
+
+def accel_kernel(dx: float, dy: float, m: float, eps: float) -> tuple[float, float]:
+    """Gravitational acceleration contribution of mass ``m`` at offset
+    (dx, dy) with Plummer softening ``eps`` (shared by sim & reference)."""
+    r2 = dx * dx + dy * dy + eps * eps
+    inv = m / (r2 * sqrt(r2))
+    return dx * inv, dy * inv
+
+
+def opens(half: float, dx: float, dy: float, eps: float, theta: float) -> bool:
+    """Multipole-acceptance test: must the node be opened?"""
+    r2 = dx * dx + dy * dy + eps * eps
+    size = 2.0 * half
+    return size * size >= theta * theta * r2
+
+
+def force_reference(tree: QuadTree, i: int, xs, ys, theta: float, eps: float) -> tuple[float, float]:
+    """Sequential force on body ``i`` (mirrors the simulated traversal)."""
+    x, y = xs[i], ys[i]
+    ax = ay = 0.0
+    stack = [0]
+    while stack:
+        nid = stack.pop()
+        b = tree.body[nid]
+        if b >= 0:
+            if b != i:
+                fx, fy = accel_kernel(tree.comx[nid] - x, tree.comy[nid] - y, tree.mass[nid], eps)
+                ax += fx
+                ay += fy
+            continue
+        dx = tree.comx[nid] - x
+        dy = tree.comy[nid] - y
+        if not opens(tree.half[nid], dx, dy, eps, theta):
+            fx, fy = accel_kernel(dx, dy, tree.mass[nid], eps)
+            ax += fx
+            ay += fy
+        else:
+            for q in range(3, -1, -1):
+                c = tree.child[4 * nid + q]
+                if c != -1:
+                    stack.append(c)
+    return ax, ay

@@ -1,0 +1,125 @@
+"""Machine and study configuration.
+
+All timing parameters are expressed in CPU cycles.  The defaults follow
+Section 5 of the paper: a 16-node CC-NUMA machine, a 2-D mesh with a link
+latency of 1.6 CPU cycles per byte, 32-byte cache blocks (4 bytes on the
+z-machine), a 4-entry store buffer and a one-line merge buffer, and
+infinite caches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+
+def _mesh_dims(nprocs: int) -> tuple[int, int]:
+    """Pick the most square (rows, cols) factorisation of ``nprocs``."""
+    if nprocs <= 0:
+        raise ValueError(f"nprocs must be positive, got {nprocs}")
+    best = (1, nprocs)
+    for rows in range(1, int(math.isqrt(nprocs)) + 1):
+        if nprocs % rows == 0:
+            best = (rows, nprocs // rows)
+    return best
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters of the simulated CC-NUMA machine.
+
+    Attributes mirror the hardware model of the paper (Section 4/5).
+    Instances are immutable; derive variants with :meth:`replace`.
+    """
+
+    nprocs: int = 16
+    #: Cache block size in bytes for the real memory systems.
+    line_size: int = 32
+    #: Cache block size used by the z-machine (one word, so only true
+    #: sharing generates communication).
+    z_line_size: int = 4
+    #: Link serialisation cost: CPU cycles per byte.
+    cycles_per_byte: float = 1.6
+    #: Per-hop router/switch delay in cycles (cut-through head latency).
+    router_delay: float = 2.0
+    #: Bytes of header/control information per network message.
+    header_bytes: int = 8
+    #: Cycles for a directory/memory module access at the home node.
+    mem_access_cycles: float = 10.0
+    #: Cycles for a cache hit (charged as busy time, not stall).
+    cache_hit_cycles: float = 1.0
+    #: Store (write) buffer depth in entries.
+    store_buffer_entries: int = 4
+    #: Merge buffer capacity in cache lines (update-based systems).
+    merge_buffer_lines: int = 1
+    #: Data cache capacity in lines; ``None`` means infinite (paper default).
+    cache_lines: int | None = None
+    #: Self-invalidation threshold for the competitive-update protocol.
+    competitive_threshold: int = 4
+    #: Payload bytes of a synchronisation request/grant message.
+    sync_bytes: int = 8
+    #: Bytes per shared-memory word.
+    word_size: int = 4
+    #: Sequential-prefetch depth for the optional prefetching extension
+    #: (0 disables prefetch; paper Section 6 suggests prefetching as a
+    #: latency-tolerance option).
+    prefetch_depth: int = 0
+    #: Interconnect topology: "mesh" (paper default), "torus", "ring" or
+    #: "hypercube" (the SPASM kernel offered a choice of topologies).
+    topology: str = "mesh"
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.line_size % self.word_size:
+            raise ValueError(
+                f"line_size ({self.line_size}) must be a multiple of the "
+                f"word size ({self.word_size})"
+            )
+        if self.z_line_size % self.word_size:
+            raise ValueError(
+                f"z_line_size ({self.z_line_size}) must be a multiple of "
+                f"the word size ({self.word_size})"
+            )
+        if self.store_buffer_entries < 1:
+            raise ValueError("store_buffer_entries must be >= 1")
+        if self.merge_buffer_lines < 1:
+            raise ValueError("merge_buffer_lines must be >= 1")
+        if self.cache_lines is not None and self.cache_lines < 1:
+            raise ValueError("cache_lines must be >= 1 or None")
+        if self.competitive_threshold < 1:
+            raise ValueError("competitive_threshold must be >= 1")
+        if self.cycles_per_byte <= 0:
+            raise ValueError("cycles_per_byte must be positive")
+        if self.topology not in ("mesh", "torus", "ring", "hypercube"):
+            raise ValueError(
+                f"unknown topology {self.topology!r}; choose mesh, torus, "
+                "ring or hypercube"
+            )
+        if self.topology == "hypercube" and self.nprocs & (self.nprocs - 1):
+            raise ValueError("hypercube topology needs a power-of-two nprocs")
+
+    @property
+    def mesh_dims(self) -> tuple[int, int]:
+        """(rows, cols) of the 2-D mesh."""
+        return _mesh_dims(self.nprocs)
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_size // self.word_size
+
+    def replace(self, **changes: object) -> "MachineConfig":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def home_node(self, block: int) -> int:
+        """Home node of a memory block (low-order interleaving)."""
+        return block % self.nprocs
+
+    def block_of(self, addr: int, line_size: int | None = None) -> int:
+        """Block number containing byte address ``addr``."""
+        return addr // (line_size if line_size is not None else self.line_size)
+
+
+DEFAULT_CONFIG = MachineConfig()

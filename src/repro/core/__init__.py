@@ -1,0 +1,21 @@
+"""Core: the z-machine benchmarking methodology."""
+
+from .study import StudyResult, SystemResult, run_study
+from .sweep import SweepPoint, SweepResult, sweep
+from .table1 import Table1Row, table1, table1_row
+from .timeline import ReadObservation, TimelineResult, figure1_scenario
+
+__all__ = [
+    "ReadObservation",
+    "StudyResult",
+    "SweepPoint",
+    "SweepResult",
+    "SystemResult",
+    "Table1Row",
+    "TimelineResult",
+    "figure1_scenario",
+    "run_study",
+    "sweep",
+    "table1",
+    "table1_row",
+]

@@ -1,0 +1,108 @@
+"""The z-machine benchmarking methodology (the paper's contribution).
+
+A *study* runs one application on the z-machine and on a set of real
+memory systems, verifies every run against the application's reference,
+and decomposes each system's execution time into the paper's overhead
+categories relative to the z-machine ideal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..apps.base import Application, run_machine
+from ..config import MachineConfig
+from ..mem.systems import PAPER_SYSTEMS
+from ..runtime.context import Machine
+from ..sim.stats import SimResult
+
+
+@dataclass
+class SystemResult:
+    """Breakdown of one (application, memory system) run."""
+
+    system: str
+    total_time: float
+    busy: float
+    read_stall: float
+    write_stall: float
+    buffer_flush: float
+    sync_wait: float
+    overhead_pct: float
+    reads: int
+    writes: int
+    read_misses: int
+    network_messages: int
+    network_bytes: int
+    traffic: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def overhead(self) -> float:
+        return self.read_stall + self.write_stall + self.buffer_flush
+
+    @classmethod
+    def from_run(cls, machine: Machine, result: SimResult) -> "SystemResult":
+        return cls(
+            system=machine.system_name,
+            total_time=result.total_time,
+            busy=result.mean_busy,
+            read_stall=result.mean_read_stall,
+            write_stall=result.mean_write_stall,
+            buffer_flush=result.mean_buffer_flush,
+            sync_wait=result.mean_sync_wait,
+            overhead_pct=result.overhead_pct,
+            reads=result.total_reads,
+            writes=result.total_writes,
+            read_misses=result.total_read_misses,
+            network_messages=result.network_messages,
+            network_bytes=result.network_bytes,
+            traffic=machine.memsys.traffic_summary(),
+        )
+
+
+@dataclass
+class StudyResult:
+    """Results of one application across several memory systems."""
+
+    app_name: str
+    config: MachineConfig
+    systems: list[SystemResult]
+
+    def by_system(self, name: str) -> SystemResult:
+        for s in self.systems:
+            if s.system == name:
+                return s
+        raise KeyError(f"no result for system {name!r} in study of {self.app_name}")
+
+    @property
+    def zmachine(self) -> SystemResult:
+        return self.by_system("z-mc")
+
+    def overhead_of(self, name: str) -> float:
+        """Memory-system overhead (cycles beyond the z-machine's zero)."""
+        return self.by_system(name).overhead
+
+
+def run_study(
+    app_factory: Callable[[], Application],
+    config: MachineConfig | None = None,
+    systems: tuple[str, ...] = PAPER_SYSTEMS,
+    verify: bool = True,
+    max_ops: int | None = None,
+) -> StudyResult:
+    """Run ``app_factory()`` on every memory system in ``systems``.
+
+    A fresh application instance is built per system (shared state is
+    per-run).  Every run is verified against the application's
+    reference implementation unless ``verify=False``.
+    """
+    cfg = config if config is not None else MachineConfig()
+    results: list[SystemResult] = []
+    app_name = None
+    for system in systems:
+        app = app_factory()
+        app_name = app.name
+        machine, result = run_machine(app, system, cfg, verify=verify, max_ops=max_ops)
+        results.append(SystemResult.from_run(machine, result))
+    return StudyResult(app_name=app_name or "?", config=cfg, systems=results)

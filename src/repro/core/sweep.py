@@ -1,0 +1,92 @@
+"""Parameter sweeps: the machinery behind the ablation benches.
+
+``sweep`` varies one machine parameter across a list of values, runs a
+fresh application instance per point, and returns an ordered series of
+results — the workhorse of the paper's Section 6 "architectural
+implications" experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..apps.base import Application, run_machine
+from ..config import MachineConfig
+from ..runtime.context import Machine
+from ..sim.stats import SimResult
+
+
+@dataclass
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    value: object
+    result: SimResult
+    machine: Machine = field(repr=False)
+
+    @property
+    def total_time(self) -> float:
+        return self.result.total_time
+
+    @property
+    def overhead_pct(self) -> float:
+        return self.result.overhead_pct
+
+
+@dataclass
+class SweepResult:
+    """Ordered series over one parameter."""
+
+    parameter: str
+    system: str
+    points: list[SweepPoint]
+
+    def series(self, metric: str) -> list[tuple[object, float]]:
+        """(value, metric) pairs; metric is a SimResult attribute name
+        (e.g. ``mean_read_stall``, ``total_time``, ``overhead_pct``)."""
+        return [(p.value, getattr(p.result, metric)) for p in self.points]
+
+    def values(self) -> list[object]:
+        return [p.value for p in self.points]
+
+    def is_monotone(self, metric: str, increasing: bool = True, slack: float = 1.02) -> bool:
+        """Whether the metric is (approximately) monotone in sweep order."""
+        ys = [y for _, y in self.series(metric)]
+        if increasing:
+            return all(a <= b * slack for a, b in zip(ys, ys[1:]))
+        return all(a * slack >= b for a, b in zip(ys, ys[1:]))
+
+    def format(self, metrics: tuple[str, ...] = ("total_time", "overhead_pct")) -> str:
+        header = f"{self.parameter:>20s} " + " ".join(f"{m:>16s}" for m in metrics)
+        lines = [f"sweep of {self.parameter} on {self.system}", header]
+        for p in self.points:
+            row = f"{str(p.value):>20s} "
+            row += " ".join(f"{getattr(p.result, m):16.1f}" for m in metrics)
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def sweep(
+    app_factory: Callable[[], Application],
+    parameter: str,
+    values: list,
+    system: str = "RCinv",
+    base_config: MachineConfig | None = None,
+    verify: bool = True,
+) -> SweepResult:
+    """Run ``app_factory()`` on ``system`` for each config value.
+
+    ``parameter`` names a :class:`MachineConfig` field; every point uses
+    ``base_config.replace(parameter=value)``.
+    """
+    cfg = base_config if base_config is not None else MachineConfig()
+    if not hasattr(cfg, parameter):
+        raise ValueError(f"MachineConfig has no parameter {parameter!r}")
+    points = []
+    for value in values:
+        machine, result = run_machine(
+            app_factory(), system, cfg.replace(**{parameter: value}), verify=verify
+        )
+        points.append(SweepPoint(value=value, result=result, machine=machine))
+    return SweepResult(parameter=parameter, system=system, points=points)

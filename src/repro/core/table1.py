@@ -1,0 +1,68 @@
+"""Table 1: inherent communication and observed costs on the z-machine.
+
+For each application the paper reports the number of shared writes, the
+fraction of execution time the propagation of those writes represents
+(the data's time on the network, almost all of it hidden under
+computation), and the observed cost — the read-stall cycles actually
+seen, which are ≈0 because the inherent communication is overlapped.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..apps.base import Application, run_machine
+from ..config import MachineConfig
+from ..mem.systems.zmachine import ZMachine
+
+
+@dataclass
+class Table1Row:
+    app: str
+    shared_writes: int
+    #: % of total execution time the write issues represent (paper col 2)
+    write_pct: float
+    #: read-stall cycles actually observed (the unhidden part; paper col 3)
+    observed_cost: float
+    #: cycles the written data spends on the (ideal) network — almost all
+    #: of it hidden under computation
+    network_cycles: float
+    #: network time as % of total execution time
+    network_pct: float
+    total_time: float
+
+
+def table1_row(
+    app_factory: Callable[[], Application],
+    config: MachineConfig | None = None,
+    verify: bool = True,
+) -> Table1Row:
+    """Run one application on the z-machine and compute its Table 1 row."""
+    cfg = config if config is not None else MachineConfig()
+    app = app_factory()
+    machine, result = run_machine(app, "z-mc", cfg, verify=verify)
+    memsys = machine.memsys
+    assert isinstance(memsys, ZMachine)
+    total = result.total_time
+    observed = sum(p.read_stall for p in result.procs)
+    return Table1Row(
+        app=app.name,
+        shared_writes=memsys.shared_writes,
+        write_pct=(
+            100.0 * memsys.shared_writes * cfg.cache_hit_cycles / total if total else 0.0
+        ),
+        observed_cost=observed,
+        network_cycles=memsys.network_cycles,
+        network_pct=100.0 * memsys.network_cycles / total if total else 0.0,
+        total_time=total,
+    )
+
+
+def table1(
+    app_factories: dict[str, Callable[[], Application]],
+    config: MachineConfig | None = None,
+    verify: bool = True,
+) -> list[Table1Row]:
+    """Compute Table 1 for a set of applications."""
+    return [table1_row(f, config, verify) for f in app_factories.values()]

@@ -1,0 +1,99 @@
+"""Figure 1: inherent communication cost versus overhead.
+
+Reconstructs the paper's didactic three-processor scenario: processor 1
+writes a value; processor 2 reads it almost immediately (within the link
+latency L — it must pay the *inherent* communication cost), while
+processor 0 reads it much later (the data had plenty of time to
+propagate, so any stall it sees on a real memory system is pure
+*overhead*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..runtime.context import Machine
+from ..sim.events import Compute
+
+
+@dataclass
+class ReadObservation:
+    """One consumer's read in the scenario."""
+
+    proc: int
+    issue_gap: float  # cycles between the write and the read issue
+    stall: float
+
+    def classify(self, link_latency: float) -> str:
+        if self.stall <= 0:
+            return "hidden"
+        if self.issue_gap < link_latency:
+            return "inherent"
+        return "overhead"
+
+
+@dataclass
+class TimelineResult:
+    system: str
+    link_latency: float
+    early_read: ReadObservation  # P2, reads within L of the write
+    late_read: ReadObservation  # P0, reads long after the write
+
+    @property
+    def early_kind(self) -> str:
+        return self.early_read.classify(self.link_latency)
+
+    @property
+    def late_kind(self) -> str:
+        return self.late_read.classify(self.link_latency)
+
+
+def figure1_scenario(
+    system: str = "z-mc",
+    config: MachineConfig | None = None,
+    early_gap: float = 2.0,
+    late_gap: float = 500.0,
+) -> TimelineResult:
+    """Run the Figure 1 scenario on one memory system.
+
+    ``early_gap``/``late_gap`` control how soon after the write each
+    consumer issues its read.  Requires at least 3 processors.
+    """
+    cfg = config if config is not None else MachineConfig()
+    if cfg.nprocs < 3:
+        raise ValueError("the Figure 1 scenario needs at least 3 processors")
+    machine = Machine(cfg, system)
+    x = machine.shm.array(1, "x", align_line=True)
+    write_time = 100.0
+
+    def worker(ctx):
+        if ctx.pid == 1:
+            yield Compute(write_time)
+            yield from x.write(0, 42.0)
+        elif ctx.pid == 2:
+            yield Compute(write_time + early_gap)
+            v = yield from x.read(0)
+            assert v in (0.0, 42.0)
+        elif ctx.pid == 0:
+            yield Compute(write_time + late_gap)
+            v = yield from x.read(0)
+            assert v == 42.0
+        # everyone else idles
+        return
+
+    result = machine.run(worker)
+    early_stall = result.procs[2].read_stall
+    late_stall = result.procs[0].read_stall
+    link_latency = getattr(machine.memsys, "latency", None)
+    if link_latency is None:
+        # real systems: use the z-machine's L as the inherent yardstick
+        from ..network.ideal import IdealNetwork
+
+        link_latency = IdealNetwork(cfg.cycles_per_byte).latency(cfg.z_line_size)
+    return TimelineResult(
+        system=machine.system_name,
+        link_latency=link_latency,
+        early_read=ReadObservation(proc=2, issue_gap=early_gap, stall=early_stall),
+        late_read=ReadObservation(proc=0, issue_gap=late_gap, stall=late_stall),
+    )

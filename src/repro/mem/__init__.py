@@ -1,0 +1,43 @@
+"""Memory-hierarchy substrate: caches, directory, buffers, systems."""
+
+from .buffers import MergeBuffer, MergeEntry, StoreBuffer
+from .cache import OWNED, SHARED, Cache, CacheLine
+from .directory import NORMAL, SPECIAL, DirEntry, Directory
+from .systems import (
+    PAPER_SYSTEMS,
+    SYSTEM_REGISTRY,
+    BaseMemorySystem,
+    RCAdapt,
+    RCComp,
+    RCInv,
+    RCUpd,
+    SCInv,
+    ZMachine,
+    default_network,
+    make_system,
+)
+
+__all__ = [
+    "BaseMemorySystem",
+    "Cache",
+    "CacheLine",
+    "DirEntry",
+    "Directory",
+    "MergeBuffer",
+    "MergeEntry",
+    "NORMAL",
+    "OWNED",
+    "PAPER_SYSTEMS",
+    "RCAdapt",
+    "RCComp",
+    "RCInv",
+    "RCUpd",
+    "SCInv",
+    "SHARED",
+    "SPECIAL",
+    "StoreBuffer",
+    "SYSTEM_REGISTRY",
+    "ZMachine",
+    "default_network",
+    "make_system",
+]

@@ -1,0 +1,176 @@
+"""Store (write) buffer and merge buffer models.
+
+Under release consistency a processor write that misses is recorded in
+the store buffer and the processor continues; the entry retires when its
+coherence transaction (ownership acquisition or update propagation)
+completes.  The processor stalls only when the buffer is full
+(*write stall*) or when it must drain the buffer at a release point
+(*buffer flush*).
+
+The update-based systems additionally place writes in a merge buffer
+that coalesces writes to the same cache line before they enter the store
+buffer, trading fewer messages for extra flush work at synchronisation
+points (paper Section 4, RCupd).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+
+class StoreBuffer:
+    """Fixed-depth write buffer with serial retirement.
+
+    Entries retire one at a time (one outstanding coherence transaction),
+    which matches the conservative single-ported directory interface of
+    the base hardware.  ``service`` maps a transaction start time to its
+    completion time.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("store buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._pending: deque[float] = deque()
+        self._last_retire = 0.0
+        #: blocks with an un-retired entry (read forwarding / merging).
+        self._pending_blocks: dict[int, int] = {}
+        self.total_entries = 0
+        self.full_stalls = 0
+
+    def drain_completed(self, now: float) -> None:
+        pending = self._pending
+        while pending and pending[0] <= now:
+            pending.popleft()
+
+    def occupancy(self, now: float) -> int:
+        self.drain_completed(now)
+        return len(self._pending)
+
+    def has_pending(self, block: int) -> bool:
+        return self._pending_blocks.get(block, 0) > 0
+
+    def push(
+        self,
+        now: float,
+        service: Callable[[float], float],
+        block: int | None = None,
+    ) -> tuple[float, float]:
+        """Enqueue one entry at time ``now``.
+
+        Returns ``(proceed_time, write_stall)``: the processor may
+        continue at ``proceed_time`` having stalled ``write_stall``
+        cycles waiting for a free slot.
+        """
+        self.drain_completed(now)
+        proceed = now
+        stall = 0.0
+        if len(self._pending) >= self.capacity:
+            oldest = self._pending.popleft()
+            stall = oldest - now
+            proceed = oldest
+            self.full_stalls += 1
+        start = max(proceed, self._last_retire)
+        retire = service(start)
+        if retire < start:
+            raise ValueError("service returned completion before start")
+        self._pending.append(retire)
+        self._last_retire = retire
+        self.total_entries += 1
+        if block is not None:
+            self._pending_blocks[block] = self._pending_blocks.get(block, 0) + 1
+            # Forget forwarding info once everything up to this entry has
+            # retired; cheap approximation: prune lazily.
+            self._prune_blocks(retire)
+        return proceed, stall
+
+    def _prune_blocks(self, horizon: float) -> None:
+        # Forwarding state is only needed while entries are in flight; we
+        # clear it wholesale whenever the buffer empties.
+        if not self._pending:
+            self._pending_blocks.clear()
+
+    def flush(self, now: float) -> tuple[float, float]:
+        """Drain the buffer (release semantics).
+
+        Returns ``(complete_time, buffer_flush_stall)``.
+        """
+        self.drain_completed(now)
+        if not self._pending:
+            self._pending_blocks.clear()
+            return now, 0.0
+        done = self._pending[-1]
+        self._pending.clear()
+        self._pending_blocks.clear()
+        return done, done - now
+
+    @property
+    def last_retire(self) -> float:
+        return self._last_retire
+
+
+class MergeEntry:
+    """An open merge-buffer line: which words of a block are dirty."""
+
+    __slots__ = ("block", "words", "opened_at")
+
+    def __init__(self, block: int, word: int, now: float):
+        self.block = block
+        self.words = {word}
+        self.opened_at = now
+
+    @property
+    def nwords(self) -> int:
+        return len(self.words)
+
+
+class MergeBuffer:
+    """Coalesces writes to the same line before they hit the network.
+
+    Holds up to ``capacity_lines`` open lines (paper default: one cache
+    block).  A write to a resident line merges for free; a write to a new
+    line when full evicts the oldest open line, which must then be pushed
+    into the store buffer as an update transaction.
+    """
+
+    def __init__(self, capacity_lines: int = 1):
+        if capacity_lines < 1:
+            raise ValueError("merge buffer capacity must be >= 1")
+        self.capacity = capacity_lines
+        self._open: dict[int, MergeEntry] = {}
+        self.merged_writes = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    def write(self, block: int, word: int, now: float) -> MergeEntry | None:
+        """Record a write; returns an evicted entry that must be flushed,
+        or ``None`` if the write merged or a slot was free."""
+        entry = self._open.get(block)
+        if entry is not None:
+            if word in entry.words:
+                self.merged_writes += 1
+            entry.words.add(word)
+            return None
+        evicted = None
+        if len(self._open) >= self.capacity:
+            oldest_block = next(iter(self._open))
+            evicted = self._open.pop(oldest_block)
+            self.evictions += 1
+        self._open[block] = MergeEntry(block, word, now)
+        return evicted
+
+    def flush_all(self) -> list[MergeEntry]:
+        """Empty the buffer, returning every open line (release point)."""
+        entries = list(self._open.values())
+        self._open.clear()
+        return entries
+
+    def extract(self, block: int) -> MergeEntry | None:
+        """Remove and return the open line for ``block``, if any."""
+        return self._open.pop(block, None)
+
+    def has(self, block: int) -> bool:
+        return block in self._open

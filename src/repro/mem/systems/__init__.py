@@ -1,0 +1,77 @@
+"""Memory-system models: the z-machine and the four RC systems (+SC)."""
+
+from __future__ import annotations
+
+from ...config import MachineConfig
+from ...network.base import Network
+from ...network.ideal import IdealNetwork
+from ...network.routed import RoutedNetwork
+from .base import BaseMemorySystem
+from .rcadapt import RCAdapt
+from .rccomp import RCComp
+from .rcinv import RCInv
+from .rcupd import RCUpd
+from .sc import SCInv
+from ...network.topology import make_topology
+from .zmachine import ZMachine
+
+#: Registry of constructible memory systems by canonical name.
+SYSTEM_REGISTRY = {
+    "z-mc": ZMachine,
+    "RCinv": RCInv,
+    "RCupd": RCUpd,
+    "RCadapt": RCAdapt,
+    "RCcomp": RCComp,
+    "SCinv": SCInv,
+}
+
+#: The five systems in the paper's figure order.
+PAPER_SYSTEMS = ("z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp")
+
+
+def default_network(config: MachineConfig) -> RoutedNetwork:
+    """The configured interconnect (paper default: 2-D mesh, 1.6 cyc/B)."""
+    dims = config.mesh_dims if config.topology in ("mesh", "torus") else None
+    topology = make_topology(config.topology, config.nprocs, dims)
+    return RoutedNetwork(
+        topology,
+        cycles_per_byte=config.cycles_per_byte,
+        header_bytes=config.header_bytes,
+        router_delay=config.router_delay,
+    )
+
+
+def make_system(name: str, config: MachineConfig, network: Network | None = None):
+    """Build a memory system by name with an appropriate network.
+
+    The z-machine always rides a contention-free :class:`IdealNetwork`;
+    the real systems default to the routed mesh.
+    """
+    try:
+        cls = SYSTEM_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown memory system {name!r}; choose from {sorted(SYSTEM_REGISTRY)}"
+        ) from None
+    if cls is ZMachine:
+        if network is not None and not isinstance(network, IdealNetwork):
+            raise ValueError("the z-machine requires an IdealNetwork (contention-free)")
+        return ZMachine(config, network)
+    if network is None:
+        network = default_network(config)
+    return cls(config, network)
+
+
+__all__ = [
+    "BaseMemorySystem",
+    "PAPER_SYSTEMS",
+    "RCAdapt",
+    "RCComp",
+    "RCInv",
+    "RCUpd",
+    "SCInv",
+    "SYSTEM_REGISTRY",
+    "ZMachine",
+    "default_network",
+    "make_system",
+]

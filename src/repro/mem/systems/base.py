@@ -1,0 +1,283 @@
+"""Common machinery for the directory-based memory systems.
+
+A memory system answers, for every shared read/write/acquire/release,
+*when* the operation completes and how the elapsed cycles are split into
+the paper's overhead categories.  Coherence transactions are costed as
+sequences of network messages plus directory/memory access cycles, with
+their side effects (presence bits, timestamped invalidations, update
+counters) applied at issue time.
+"""
+
+from __future__ import annotations
+
+from ...config import MachineConfig
+from ...network.base import Network
+from ...sim.stats import AccessResult
+from ..cache import OWNED, SHARED, Cache
+from ..directory import Directory
+
+
+class BaseMemorySystem:
+    """Shared state and transaction helpers for all protocol models."""
+
+    #: Human-readable system name (e.g. ``RCinv``); set by subclasses.
+    name = "base"
+
+    def __init__(self, config: MachineConfig, network: Network):
+        self.config = config
+        self.network = network
+        self.line_size = config.line_size
+        self.directory = Directory()
+        self.caches = [Cache(config.cache_lines) for _ in range(config.nprocs)]
+        #: Per-processor time by which all of its issued coherence
+        #: fan-outs (invalidations/updates + acks) have completed.  Write
+        #: buffer entries retire when the *home* acknowledges (pipelined,
+        #: DASH-style); a release must additionally wait for this.
+        self.fanout_done = [0.0] * config.nprocs
+        # traffic / event counters
+        self.read_transactions = 0
+        self.write_transactions = 0
+        self.invalidations_sent = 0
+        self.updates_sent = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    # address mapping
+    # ------------------------------------------------------------------
+    def block_of(self, addr: int) -> int:
+        return addr // self.line_size
+
+    def word_of(self, addr: int) -> int:
+        return (addr % self.line_size) // self.config.word_size
+
+    def home_of(self, block: int) -> int:
+        return self.config.home_node(block)
+
+    # ------------------------------------------------------------------
+    # engine interface (subclasses override read/write/release)
+    # ------------------------------------------------------------------
+    def read(self, proc: int, addr: int, now: float) -> AccessResult:
+        raise NotImplementedError
+
+    def write(self, proc: int, addr: int, now: float) -> AccessResult:
+        raise NotImplementedError
+
+    def acquire(self, proc: int, now: float) -> AccessResult:
+        """Acquire semantics: nothing to do in these systems."""
+        return AccessResult(time=now)
+
+    def release(self, proc: int, now: float) -> AccessResult:
+        raise NotImplementedError
+
+    # -- decoupled data-flow synchronisation (paper Section 6) ----------
+    def publish(self, proc: int, blocks: tuple[int, ...], now: float) -> tuple[float, float]:
+        """Issue any buffered writes to ``blocks`` without waiting.
+
+        Returns ``(proceed_time, data_ready_time)``: when the producer
+        may continue (fire-and-forget) and by when the published data is
+        fetchable by consumers.  The base protocols apply write effects
+        at issue time (ownership/home updates), so nothing extra is
+        needed; the merge-buffered systems override this.
+        """
+        return now, now
+
+    def self_invalidate(self, proc: int, blocks: tuple[int, ...], now: float) -> None:
+        """Consumer-side smart self-invalidation: drop local copies of
+        ``blocks`` so the next reads fetch fresh data.  Local operation,
+        no network traffic; the directory's presence bit is cleared so
+        update protocols stop streaming useless updates."""
+        cache = self.caches[proc]
+        for block in blocks:
+            entry = self.directory.entry(block)
+            if entry.owner == proc:
+                continue  # never drop one's own dirty data
+            if cache.peek(block) is not None:
+                cache.drop(block)
+            entry.remove_sharer(proc)
+
+    # ------------------------------------------------------------------
+    # transaction building blocks
+    # ------------------------------------------------------------------
+    def _hit(self, now: float) -> AccessResult:
+        return AccessResult(time=now + self.config.cache_hit_cycles, hit=True)
+
+    def _fetch_line(self, proc: int, block: int, now: float) -> float:
+        """Read-miss transaction; returns data arrival time at ``proc``.
+
+        proc -> home (request), home memory access; if a dirty owner
+        exists the home forwards the request and the owner supplies the
+        data (cache-to-cache), else the home replies from memory.
+        Side effect: ``proc`` becomes a sharer.
+        """
+        cfg = self.config
+        net = self.network
+        home = self.home_of(block)
+        entry = self.directory.entry(block)
+        t = net.transfer(proc, home, 0, now)
+        t += cfg.mem_access_cycles
+        owner = entry.owner
+        if owner is not None and owner != proc:
+            t = net.transfer(home, owner, 0, t)
+            t += cfg.cache_hit_cycles
+            arrival = net.transfer(owner, proc, self.line_size, t)
+        else:
+            arrival = net.transfer(home, proc, self.line_size, t)
+        entry.add_sharer(proc)
+        self.read_transactions += 1
+        return arrival
+
+    def _invalidate_sharers(
+        self, block: int, requester: int, start: float, home: int
+    ) -> float:
+        """Send invalidations to every sharer except ``requester``.
+
+        Returns the time at which the home has collected all acks.
+        Victim caches get a timestamped invalidation at message arrival.
+        """
+        net = self.network
+        entry = self.directory.entry(block)
+        victims = entry.sharer_list(exclude=requester)
+        ack_done = start
+        if victims:
+            arrivals = net.multicast(home, victims, 0, start)
+            for victim, arr in arrivals.items():
+                self.caches[victim].invalidate_at(block, arr)
+                ack = net.transfer(victim, home, 0, arr)
+                if ack > ack_done:
+                    ack_done = ack
+                entry.remove_sharer(victim)
+            self.invalidations_sent += len(victims)
+        owner = entry.owner
+        if owner is not None and owner != requester:
+            # Dirty owner must also give up the block (writeback to home).
+            arr = net.transfer(home, owner, 0, ack_done)
+            self.caches[owner].invalidate_at(block, arr)
+            wb = net.transfer(owner, home, self.line_size, arr)
+            self.writebacks += 1
+            if wb > ack_done:
+                ack_done = wb
+            entry.owner = None
+            entry.remove_sharer(owner)
+        return ack_done
+
+    def _ownership_transaction(
+        self, proc: int, block: int, start: float, pipelined: bool = True
+    ) -> float:
+        """Write-miss / upgrade: obtain exclusive ownership of ``block``.
+
+        With ``pipelined=True`` (release consistency) the entry retires
+        when the home grants ownership; invalidation acks complete in the
+        background and are only awaited at release points (recorded in
+        ``fanout_done``).  With ``pipelined=False`` (sequential
+        consistency) the returned time includes all acks.
+
+        Side effects: other copies invalidated, ``proc`` becomes dirty
+        owner with a valid line.
+        """
+        cfg = self.config
+        net = self.network
+        home = self.home_of(block)
+        entry = self.directory.entry(block)
+        t = net.transfer(proc, home, 0, start)
+        t += cfg.mem_access_cycles
+        acks_done = self._invalidate_sharers(block, proc, t, home)
+        # Grant (with data if the requester lacks the line); the home does
+        # not wait for acks before granting in the pipelined mode.
+        payload = 0 if self.caches[proc].peek(block) is not None else self.line_size
+        grant = net.transfer(home, proc, payload, t)
+        entry.owner = proc
+        entry.sharers = 1 << proc
+        cache = self.caches[proc]
+        line = cache.peek(block)
+        if line is None:
+            cache.insert(block, OWNED)
+        else:
+            line.state = OWNED
+            line.inval_at = None
+        self.write_transactions += 1
+        if pipelined:
+            if acks_done > self.fanout_done[proc]:
+                self.fanout_done[proc] = acks_done
+            return grant
+        return max(grant, acks_done)
+
+    def _update_transaction(
+        self, proc: int, block: int, nwords: int, start: float
+    ) -> float:
+        """Propagate ``nwords`` dirty words of ``block`` to all sharers.
+
+        Writer -> home (data); the home acknowledges receipt (that ack
+        retires the store-buffer entry) and multicasts the update to the
+        current sharers; sharer acks complete in the background and are
+        awaited at release points (``fanout_done``).
+        """
+        cfg = self.config
+        net = self.network
+        home = self.home_of(block)
+        entry = self.directory.entry(block)
+        payload = nwords * cfg.word_size
+        t = net.transfer(proc, home, payload, start)
+        t += cfg.mem_access_cycles
+        if t > entry.avail_time:
+            entry.avail_time = t  # data fetchable from home from here on
+        retire = net.transfer(home, proc, 0, t)
+        targets = entry.sharer_list(exclude=proc)
+        ack_done = t
+        if targets:
+            arrivals = net.multicast(home, targets, payload, t)
+            for victim, arr in arrivals.items():
+                self._deliver_update(victim, block, arr)
+                ack = net.transfer(victim, home, 0, arr)
+                if ack > ack_done:
+                    ack_done = ack
+            self.updates_sent += len(targets)
+        if ack_done > self.fanout_done[proc]:
+            self.fanout_done[proc] = ack_done
+        self.write_transactions += 1
+        return retire
+
+    def _deliver_update(self, victim: int, block: int, arrival: float) -> None:
+        """Hook: an update for ``block`` arrives at ``victim``.
+
+        The plain update protocol just refreshes the copy; the
+        competitive protocol overrides this to count useless updates.
+        """
+
+    def _evict(self, proc: int, block: int, line, now: float) -> None:
+        """Handle a capacity eviction from ``proc``'s cache."""
+        entry = self.directory.entry(block)
+        if line.state == OWNED and entry.owner == proc:
+            # Writeback of the dirty line (fire-and-forget traffic).
+            self.network.transfer(proc, self.home_of(block), self.line_size, now)
+            self.writebacks += 1
+            entry.owner = None
+        else:
+            # Replacement hint so the directory stops tracking us.
+            self.network.transfer(proc, self.home_of(block), 0, now)
+        entry.remove_sharer(proc)
+
+    def _insert_line(self, proc: int, block: int, state: int, now: float, ready_at: float = 0.0) -> None:
+        evicted = self.caches[proc].insert(block, state, ready_at)
+        if evicted is not None:
+            victim_block, victim_line = evicted
+            self._evict(proc, victim_block, victim_line, now)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def traffic_summary(self) -> dict[str, float]:
+        s = self.network.stats
+        return {
+            "messages": s.messages,
+            "bytes": s.bytes,
+            "latency_cycles": s.latency_cycles,
+            "contention_cycles": s.contention_cycles,
+            "read_transactions": self.read_transactions,
+            "write_transactions": self.write_transactions,
+            "invalidations": self.invalidations_sent,
+            "updates": self.updates_sent,
+            "writebacks": self.writebacks,
+        }
+
+
+__all__ = ["BaseMemorySystem", "SHARED", "OWNED"]

@@ -1,0 +1,73 @@
+"""RCadapt: adaptive selective-write protocol.
+
+Every shared write is treated as a *selective-write* (the explicit
+communication primitive of Ramachandran et al.): the directory keeps the
+active set of sharers for the block's current phase and updates exactly
+that set.  After a selective-write the block is in a SPECIAL state; a
+read miss arriving at the directory for a SPECIAL block signals that the
+application's sharing pattern has changed, so the directory
+re-initialises — it invalidates the current sharers and starts a fresh
+active set with the requester.  The protocol thereby approaches
+update-protocol read stalls with invalidate-protocol write traffic when
+producer/consumer relationships are stable.
+"""
+
+from __future__ import annotations
+
+from ...config import MachineConfig
+from ...network.base import Network
+from ...sim.stats import AccessResult
+from ..cache import SHARED
+from ..directory import NORMAL, SPECIAL
+from .rcupd import RCUpd
+
+
+class RCAdapt(RCUpd):
+    name = "RCadapt"
+
+    def __init__(self, config: MachineConfig, network: Network):
+        super().__init__(config, network)
+        self.reinitialisations = 0
+
+    # Writes behave exactly like RCupd's merge-buffered updates, except
+    # that the block enters the SPECIAL state.
+    def _update_transaction(self, proc: int, block: int, nwords: int, start: float) -> float:
+        done = super()._update_transaction(proc, block, nwords, start)
+        self.directory.entry(block).mode = SPECIAL
+        return done
+
+    # ------------------------------------------------------------------
+    def read(self, proc: int, addr: int, now: float) -> AccessResult:
+        block = self.block_of(addr)
+        cache = self.caches[proc]
+        line = cache.lookup(block, now)
+        if line is not None:
+            line.updates_since_read = 0
+            return self._hit(now)
+        if self.merge_buffers[proc].has(block) or self.store_buffers[proc].has_pending(block):
+            return self._hit(now)
+        arrival = self._adaptive_fetch(proc, block, now)
+        self._insert_line(proc, block, SHARED, now)
+        return AccessResult(
+            time=arrival + self.config.cache_hit_cycles, read_stall=arrival - now
+        )
+
+    def _adaptive_fetch(self, proc: int, block: int, now: float) -> float:
+        """Read-miss transaction with phase-change detection at the home."""
+        cfg = self.config
+        net = self.network
+        home = self.home_of(block)
+        entry = self.directory.entry(block)
+        t = net.transfer(proc, home, 0, now)
+        t += cfg.mem_access_cycles
+        if entry.mode == SPECIAL:
+            # Established sharing pattern + a new read => new phase:
+            # invalidate the stale active set and re-initialise.
+            t = self._invalidate_sharers(block, proc, t, home)
+            entry.sharers = 0
+            entry.mode = NORMAL
+            self.reinitialisations += 1
+        arrival = net.transfer(home, proc, self.line_size, t)
+        entry.add_sharer(proc)
+        self.read_transactions += 1
+        return arrival

@@ -1,0 +1,53 @@
+"""SCinv: sequentially consistent write-invalidate baseline.
+
+Not one of the paper's four RC systems, but the conventional frame of
+reference the paper argues against benchmarking with ("in most memory
+systems studies, a sequentially consistent invalidation-based protocol
+is used as the frame of reference").  Included so studies can show both
+reference points.  Under SC a write stalls the processor until ownership
+is granted, so all write latency appears as write stall and there is
+nothing to flush at releases.
+"""
+
+from __future__ import annotations
+
+from ...sim.stats import AccessResult
+from ..cache import OWNED, SHARED
+from .base import BaseMemorySystem
+
+
+class SCInv(BaseMemorySystem):
+    name = "SCinv"
+
+    def read(self, proc: int, addr: int, now: float) -> AccessResult:
+        block = self.block_of(addr)
+        line = self.caches[proc].lookup(block, now)
+        if line is not None:
+            return self._hit(now)
+        arrival = self._fetch_line(proc, block, now)
+        self._insert_line(proc, block, SHARED, now)
+        return AccessResult(
+            time=arrival + self.config.cache_hit_cycles, read_stall=arrival - now
+        )
+
+    def write(self, proc: int, addr: int, now: float) -> AccessResult:
+        cfg = self.config
+        block = self.block_of(addr)
+        line = self.caches[proc].lookup(block, now)
+        entry = self.directory.entry(block)
+        entry.write_count += 1
+        if (
+            line is not None
+            and line.state == OWNED
+            and entry.owner == proc
+            and entry.sharers == 1 << proc
+        ):
+            return AccessResult(time=now + cfg.cache_hit_cycles, hit=True)
+        done = self._ownership_transaction(proc, block, now, pipelined=False)
+        return AccessResult(
+            time=done + cfg.cache_hit_cycles, write_stall=done - now
+        )
+
+    def release(self, proc: int, now: float) -> AccessResult:
+        # Writes already completed in program order: nothing to drain.
+        return AccessResult(time=now)

@@ -1,0 +1,19 @@
+"""Interconnection-network substrate: topologies, routing, contention."""
+
+from .base import NetStats, Network
+from .ideal import IdealNetwork
+from .routed import RoutedNetwork
+from .topology import Hypercube, Mesh2D, Ring, Topology, Torus2D, make_topology
+
+__all__ = [
+    "Hypercube",
+    "IdealNetwork",
+    "Mesh2D",
+    "NetStats",
+    "Network",
+    "Ring",
+    "RoutedNetwork",
+    "Topology",
+    "Torus2D",
+    "make_topology",
+]

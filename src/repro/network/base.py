@@ -1,0 +1,65 @@
+"""Abstract interconnect interface and traffic statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NetStats:
+    """Aggregate traffic counters for one simulation run."""
+
+    messages: int = 0
+    bytes: int = 0
+    #: Sum over messages of (arrival - injection): total latency cycles.
+    latency_cycles: float = 0.0
+    #: Sum over messages of pure serialisation time: link-busy cycles.
+    busy_cycles: float = 0.0
+    #: Sum over messages of time spent queued behind other traffic.
+    contention_cycles: float = 0.0
+
+    def record(self, nbytes: int, latency: float, serialisation: float, queued: float) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        self.latency_cycles += latency
+        self.busy_cycles += serialisation
+        self.contention_cycles += queued
+
+
+class Network:
+    """A point-to-point interconnect with reservation-based timing.
+
+    ``transfer`` injects one message and returns its arrival time at the
+    destination.  Implementations may model contention by remembering
+    per-link reservations; the z-machine uses a contention-free instance.
+    """
+
+    def __init__(self) -> None:
+        self.stats = NetStats()
+
+    def transfer(self, src: int, dst: int, nbytes: int, start: float) -> float:
+        raise NotImplementedError
+
+    def multicast(
+        self, src: int, dsts: list[int], nbytes: int, start: float
+    ) -> dict[int, float]:
+        """Send the same payload to several destinations.
+
+        Modelled as serialised unicasts out of the source node (the
+        source's injection port can hold one message at a time), which is
+        how update fan-out was costed in contemporaneous studies.
+        Returns per-destination arrival times.
+        """
+        arrivals: dict[int, float] = {}
+        inject = start
+        for dst in dsts:
+            arrivals[dst] = self.transfer(src, dst, nbytes, inject)
+            inject += self.serialisation_time(nbytes)
+        return arrivals
+
+    def serialisation_time(self, nbytes: int) -> float:
+        """Cycles to put ``nbytes`` (plus header) onto a link."""
+        raise NotImplementedError
+
+    def reset_stats(self) -> None:
+        self.stats = NetStats()

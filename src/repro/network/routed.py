@@ -1,0 +1,75 @@
+"""Routed interconnect with per-link contention.
+
+Messages are timed with a cut-through (wormhole-like) model: the head of
+the message pays a router delay per hop, the tail follows after the
+serialisation time, and each directed link can carry one message at a
+time.  A message arriving at a busy link queues until the link frees.
+
+Reservations are made at injection time: the contention a message sees is
+the link state at the moment its transaction is issued.  This is the
+standard fast-simulation trade-off (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from .base import Network
+from .topology import Topology
+
+
+class RoutedNetwork(Network):
+    """Topology-routed network with link reservation contention."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        cycles_per_byte: float,
+        header_bytes: int = 8,
+        router_delay: float = 2.0,
+    ):
+        super().__init__()
+        if cycles_per_byte <= 0:
+            raise ValueError("cycles_per_byte must be positive")
+        self.topology = topology
+        self.cycles_per_byte = cycles_per_byte
+        self.header_bytes = header_bytes
+        self.router_delay = router_delay
+        self._link_free: dict[tuple[int, int], float] = {}
+
+    def serialisation_time(self, nbytes: int) -> float:
+        return (nbytes + self.header_bytes) * self.cycles_per_byte
+
+    def transfer(self, src: int, dst: int, nbytes: int, start: float) -> float:
+        if src == dst:
+            # Local delivery: no network traversal.
+            self.stats.record(nbytes, 0.0, 0.0, 0.0)
+            return start
+        ser = self.serialisation_time(nbytes)
+        head = start
+        queued = 0.0
+        link_free = self._link_free
+        for link in self.topology.route(src, dst):
+            free_at = link_free.get(link, 0.0)
+            depart = free_at if free_at > head else head
+            queued += depart - head
+            link_free[link] = depart + ser
+            head = depart + self.router_delay
+        arrival = head + ser
+        self.stats.record(nbytes, arrival - start, ser, queued)
+        return arrival
+
+    def min_latency(self, src: int, dst: int, nbytes: int) -> float:
+        """Zero-load latency between two nodes (useful for tests)."""
+        if src == dst:
+            return 0.0
+        hops = self.topology.hops(src, dst)
+        return hops * self.router_delay + self.serialisation_time(nbytes)
+
+    def reset(self) -> None:
+        """Clear link reservations and statistics."""
+        self._link_free.clear()
+        self.reset_stats()
+
+    @property
+    def link_utilisation(self) -> dict[tuple[int, int], float]:
+        """Latest reservation horizon per link (diagnostic)."""
+        return dict(self._link_free)

@@ -1,0 +1,29 @@
+"""Parallel-programming runtime over the simulated shared memory."""
+
+from .channel import ChannelReader, DataChannel
+from .context import AppContext, Machine
+from .multithread import ContextError, interleave
+from .primitives import Barrier, Lock, compute, fence
+from .sharedmem import SharedArray, SharedMemory, SharedScalar
+from .sync import SyncManager
+from .workqueue import EMPTY, CentralQueue, TaskPool
+
+__all__ = [
+    "AppContext",
+    "Barrier",
+    "CentralQueue",
+    "ChannelReader",
+    "ContextError",
+    "DataChannel",
+    "EMPTY",
+    "Lock",
+    "Machine",
+    "SharedArray",
+    "SharedMemory",
+    "SharedScalar",
+    "SyncManager",
+    "TaskPool",
+    "compute",
+    "fence",
+    "interleave",
+]

@@ -1,0 +1,92 @@
+"""Per-thread application context and machine assembly.
+
+:class:`Machine` wires a configuration, a memory system, a network, a
+synchronisation manager and the engine together; :class:`AppContext` is
+what each SPMD worker receives.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from ..config import MachineConfig
+from ..mem.systems import make_system
+from ..mem.systems.zmachine import ZMachine
+from ..network.base import Network
+from ..sim.engine import Engine
+from ..sim.events import Compute, Op
+from ..sim.stats import SimResult
+from .sharedmem import SharedMemory
+from .sync import SyncManager
+
+
+class AppContext:
+    """Handed to every worker: identity plus runtime handles."""
+
+    __slots__ = ("pid", "nprocs", "config", "shm", "sync")
+
+    def __init__(self, pid: int, config: MachineConfig, shm: SharedMemory, sync: SyncManager):
+        self.pid = pid
+        self.nprocs = config.nprocs
+        self.config = config
+        self.shm = shm
+        self.sync = sync
+
+    def compute(self, cycles: float) -> Generator[Op, None, None]:
+        """Charge ``cycles`` of local computation."""
+        yield Compute(cycles)
+
+
+class Machine:
+    """One simulated machine instance: config + memory system + runtime.
+
+    Typical use::
+
+        machine = Machine(config, "RCinv")
+        app = SomeApp(machine, workload)      # allocates shared state
+        result = machine.run(app.worker)      # SPMD execution
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        system: str = "RCinv",
+        network: Network | None = None,
+        max_ops: int | None = None,
+    ):
+        self.config = config
+        self.memsys = make_system(system, config, network)
+        # Sync traffic shares the data network so protocol traffic delays
+        # synchronisation (and vice versa); the z-machine's ideal network
+        # keeps synchronisation contention-free there.
+        if isinstance(self.memsys, ZMachine):
+            self.network: Network = self.memsys.network
+        else:
+            self.network = self.memsys.network
+        self.sync = SyncManager(config, self.network)
+        self.shm = SharedMemory(config)
+        self.engine = Engine(config, self.memsys, self.sync, max_ops=max_ops)
+        self._ran = False
+
+    @property
+    def system_name(self) -> str:
+        return self.memsys.name
+
+    @property
+    def is_zmachine(self) -> bool:
+        return isinstance(self.memsys, ZMachine)
+
+    def run(self, worker: Callable[[AppContext], Generator[Op, None, None]]) -> SimResult:
+        """Run ``worker(ctx)`` on every processor to completion."""
+        if self._ran:
+            raise RuntimeError("a Machine instance can only run once")
+        self._ran = True
+        for pid in range(self.config.nprocs):
+            ctx = AppContext(pid, self.config, self.shm, self.sync)
+            self.engine.spawn(pid, worker(ctx))
+        result = self.engine.run()
+        stats = self.network.stats
+        result.network_messages = stats.messages
+        result.network_bytes = stats.bytes
+        result.network_busy_cycles = stats.busy_cycles
+        return result

@@ -1,0 +1,135 @@
+"""Multithreaded-processor latency tolerance (paper Section 6/7).
+
+The paper lists multithreading, alongside prefetching, as an
+architectural enhancement for tolerating the read latency that the
+z-machine shows to be avoidable.  :func:`interleave` implements a
+switch-on-miss multithreaded processor: several hardware contexts share
+one processor (one engine thread, one cache, one store buffer); when the
+running context issues a read whose data is not yet available, the
+processor pays a context-switch cost and runs another ready context,
+hiding the miss latency under useful work.  Only the unhidden remainder
+is charged as read stall.
+
+Contexts yield the ordinary operation vocabulary (``Read``/``Write``/
+``Compute``); reads are transparently converted to non-blocking reads.
+Synchronisation operations are *not* supported inside contexts (they
+block the whole processor) — join the contexts first and synchronise at
+processor level, which is how the workloads this technique targets
+(miss-bound data-parallel loops) are structured.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from ..sim.events import (
+    Acquire,
+    BarrierWait,
+    Compute,
+    Fence,
+    Op,
+    Read,
+    ReadNB,
+    Release,
+    Stall,
+    Write,
+)
+
+#: Default context-switch cost in cycles.
+SWITCH_COST = 4.0
+
+
+class ContextError(RuntimeError):
+    """A context yielded an operation the multithreaded wrapper cannot run."""
+
+
+def interleave(
+    contexts: list[Generator[Op, None, None]],
+    switch_cost: float = SWITCH_COST,
+    min_switch_latency: float | None = None,
+) -> Generator[Op, None, None]:
+    """Run several contexts on one processor with switch-on-miss.
+
+    ``contexts`` are ordinary worker generators restricted to
+    ``Read``/``Write``/``Compute`` operations.  ``switch_cost`` is the
+    context-switch penalty; a switch is only worthwhile when the miss
+    latency exceeds ``min_switch_latency`` (defaults to the switch cost
+    itself).
+
+    Yields engine operations; drive it with ``yield from`` inside a
+    normal worker, or pass it directly to :meth:`Machine.run` via a
+    wrapper.
+    """
+    if not contexts:
+        return
+    if switch_cost < 0:
+        raise ValueError("switch_cost must be >= 0")
+    threshold = min_switch_latency if min_switch_latency is not None else switch_cost
+    n = len(contexts)
+    #: absolute time at which each context may run again (data arrival)
+    ready_at = [0.0] * n
+    alive = [True] * n
+    pending_value: list[object] = [None] * n
+    now = 0.0
+    current = -1
+
+    def runnable() -> list[int]:
+        return [i for i in range(n) if alive[i]]
+
+    while any(alive):
+        candidates = runnable()
+        # Pick the ready context (prefer the current one: no switch cost);
+        # if none is ready, the earliest-ready one and stall for the gap.
+        ready = [i for i in candidates if ready_at[i] <= now]
+        if current in ready:
+            pick = current
+        elif ready:
+            pick = ready[0]
+        else:
+            pick = min(candidates, key=lambda i: ready_at[i])
+            gap = ready_at[pick] - now
+            if gap > 0:
+                fb = yield Stall(gap, "read")
+                now = fb[0]
+        if pick != current and current != -1 and switch_cost > 0:
+            fb = yield Compute(switch_cost)
+            now = fb[0]
+        current = pick
+        ctx = contexts[pick]
+
+        # Run the picked context until it blocks on a miss or finishes.
+        send_value = pending_value[pick]
+        pending_value[pick] = None
+        while True:
+            try:
+                op = ctx.send(send_value)
+            except StopIteration:
+                alive[pick] = False
+                break
+            send_value = None
+            cls = op.__class__
+            if cls is Read:
+                fb = yield ReadNB(op.addr)
+                now, res = fb
+                data_ready = res.time
+                if data_ready > now + threshold and len(runnable()) > 1:
+                    # Long-latency miss with other work available: park
+                    # this context until its data arrives and switch.
+                    ready_at[pick] = data_ready
+                    pending_value[pick] = fb
+                    break
+                if data_ready > now:
+                    fb = yield Stall(data_ready - now, "read")
+                    now = fb[0]
+                send_value = (now, res)
+            elif cls is Compute or cls is Write:
+                fb = yield op
+                now = fb[0]
+                send_value = fb
+            elif cls in (Acquire, Release, BarrierWait, Fence, ReadNB, Stall):
+                raise ContextError(
+                    f"multithreaded contexts may not yield {op!r}; "
+                    "synchronise at processor level after joining contexts"
+                )
+            else:
+                raise ContextError(f"unknown operation {op!r} from context")

@@ -1,0 +1,68 @@
+"""User-facing synchronisation handles and helpers.
+
+``Lock`` and ``Barrier`` wrap ids managed by the
+:class:`~repro.runtime.sync.SyncManager`; their methods are generators
+driven with ``yield from`` inside application worker code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from ..sim.events import Acquire, BarrierWait, Compute, Fence, Op, Release
+from .sync import SyncManager
+
+
+class Lock:
+    """A queue lock living at ``lock_id % nprocs``."""
+
+    __slots__ = ("manager", "lock_id", "name")
+
+    def __init__(self, manager: SyncManager, name: str = ""):
+        self.manager = manager
+        self.lock_id = manager.new_lock()
+        self.name = name
+
+    def acquire(self) -> Generator[Op, None, None]:
+        yield Acquire(self.lock_id)
+
+    def release(self) -> Generator[Op, None, None]:
+        yield Release(self.lock_id)
+
+
+class Barrier:
+    """A sense-reversing barrier over ``participants`` processors."""
+
+    __slots__ = ("manager", "barrier_id", "name")
+
+    def __init__(self, manager: SyncManager, participants: int | None = None, name: str = ""):
+        self.manager = manager
+        self.barrier_id = manager.new_barrier(participants)
+        self.name = name
+
+    def wait(self) -> Generator[Op, None, None]:
+        yield BarrierWait(self.barrier_id)
+
+
+def compute(cycles: float) -> Generator[Op, None, None]:
+    """Charge ``cycles`` of computation."""
+    yield Compute(cycles)
+
+
+def fence() -> Generator[Op, None, None]:
+    """Stand-alone release fence (drain write buffers)."""
+    yield Fence()
+
+
+def critical(lock: Lock):
+    """Not a context manager — generators cannot ``with``-wrap yields
+    across frames; provided as documentation of the intended pattern::
+
+        yield from lock.acquire()
+        ...
+        yield from lock.release()
+    """
+    raise TypeError(
+        "use `yield from lock.acquire()` / `yield from lock.release()` "
+        "explicitly inside simulated worker code"
+    )

@@ -1,0 +1,184 @@
+"""Shared address space: allocator and simulated shared arrays.
+
+Shared data lives in :class:`SharedArray` objects.  Every element access
+through :meth:`SharedArray.read` / :meth:`SharedArray.write` traps into
+the simulated memory system (they are generators to be driven with
+``yield from``); ``peek``/``poke`` bypass the simulation for
+setup/verification code that runs outside simulated time.
+
+Addresses are byte addresses in a single flat space; consecutive array
+elements occupy consecutive words, so arrays laid out carelessly exhibit
+false sharing with 32-byte lines, exactly as on the real machine.  Use
+``align_line=True`` (or :meth:`SharedMemory.alloc_padded`) to give an
+array its own cache lines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Iterable, Sequence
+
+from ..config import MachineConfig
+from ..sim.events import Op, Read, Write
+
+
+class SharedMemory:
+    """Bump allocator for the simulated shared address space."""
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        self._next_addr = 0
+        self.arrays: list[SharedArray] = []
+
+    def alloc_words(self, nwords: int, align_line: bool = False) -> int:
+        """Reserve ``nwords`` words; returns the base byte address."""
+        if nwords < 0:
+            raise ValueError("cannot allocate a negative number of words")
+        if align_line:
+            ls = self.config.line_size
+            self._next_addr = (self._next_addr + ls - 1) // ls * ls
+        base = self._next_addr
+        self._next_addr += nwords * self.config.word_size
+        return base
+
+    def array(
+        self,
+        n: int,
+        name: str = "",
+        fill: float = 0.0,
+        align_line: bool = False,
+        pad_to_line: bool = False,
+    ) -> "SharedArray":
+        """Allocate a shared array of ``n`` words."""
+        arr = SharedArray(self, n, name=name, fill=fill, align_line=align_line)
+        if pad_to_line:
+            ls_words = self.config.words_per_line
+            slack = (-n) % ls_words
+            if slack:
+                self.alloc_words(slack)
+        self.arrays.append(arr)
+        return arr
+
+    def scalar(self, name: str = "", fill: float = 0.0, align_line: bool = True) -> "SharedScalar":
+        """Allocate a single shared word on its own cache line."""
+        s = SharedScalar(self, name=name, fill=fill, align_line=align_line)
+        self.arrays.append(s)
+        return s
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._next_addr
+
+
+class SharedArray:
+    """A simulated shared array of machine words.
+
+    Values are Python objects (ints/floats); the memory system only
+    models timing, so the Python heap carries the data (see DESIGN.md).
+    """
+
+    __slots__ = ("shm", "base", "n", "name", "_data", "_word")
+
+    def __init__(
+        self,
+        shm: SharedMemory,
+        n: int,
+        name: str = "",
+        fill: float = 0.0,
+        align_line: bool = False,
+    ):
+        self.shm = shm
+        self.base = shm.alloc_words(n, align_line=align_line)
+        self.n = n
+        self.name = name
+        self._data = [fill] * n
+        self._word = shm.config.word_size
+
+    def __len__(self) -> int:
+        return self.n
+
+    def addr(self, i: int) -> int:
+        return self.base + i * self._word
+
+    def _check(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise IndexError(
+                f"index {i} out of range for shared array {self.name!r} of size {self.n}"
+            )
+
+    # -- simulated accesses (generators; drive with ``yield from``) ----
+    def read(self, i: int) -> Generator[Op, None, float]:
+        self._check(i)
+        yield Read(self.base + i * self._word)
+        return self._data[i]
+
+    def write(self, i: int, value) -> Generator[Op, None, None]:
+        self._check(i)
+        yield Write(self.base + i * self._word)
+        self._data[i] = value
+
+    def add(self, i: int, delta) -> Generator[Op, None, float]:
+        """Read-modify-write convenience (not atomic; guard with a lock)."""
+        self._check(i)
+        yield Read(self.base + i * self._word)
+        value = self._data[i] + delta
+        yield Write(self.base + i * self._word)
+        self._data[i] = value
+        return value
+
+    def read_range(self, start: int, stop: int) -> Generator[Op, None, list]:
+        """Read elements ``start:stop``; one simulated access per word."""
+        if not (0 <= start <= stop <= self.n):
+            raise IndexError(f"range {start}:{stop} out of bounds for size {self.n}")
+        out = []
+        for i in range(start, stop):
+            yield Read(self.base + i * self._word)
+            out.append(self._data[i])
+        return out
+
+    def write_range(self, start: int, values: Sequence) -> Generator[Op, None, None]:
+        if not (0 <= start and start + len(values) <= self.n):
+            raise IndexError(
+                f"range {start}:{start + len(values)} out of bounds for size {self.n}"
+            )
+        for k, v in enumerate(values):
+            yield Write(self.base + (start + k) * self._word)
+            self._data[start + k] = v
+
+    # -- unsimulated accesses (setup / verification only) ---------------
+    def peek(self, i: int):
+        self._check(i)
+        return self._data[i]
+
+    def poke(self, i: int, value) -> None:
+        self._check(i)
+        self._data[i] = value
+
+    def poke_many(self, values: Iterable) -> None:
+        values = list(values)
+        if len(values) != self.n:
+            raise ValueError(
+                f"poke_many got {len(values)} values for array of size {self.n}"
+            )
+        self._data = values
+
+    def snapshot(self) -> list:
+        return list(self._data)
+
+
+class SharedScalar(SharedArray):
+    """A single shared word (convenience wrapper)."""
+
+    def __init__(self, shm: SharedMemory, name: str = "", fill: float = 0.0, align_line: bool = True):
+        super().__init__(shm, 1, name=name, fill=fill, align_line=align_line)
+
+    def get(self) -> Generator[Op, None, float]:
+        return self.read(0)
+
+    def set(self, value) -> Generator[Op, None, None]:
+        return self.write(0, value)
+
+    def incr(self, delta=1) -> Generator[Op, None, float]:
+        return self.add(0, delta)
+
+    def value(self):
+        return self.peek(0)

@@ -1,0 +1,133 @@
+"""Work queues built on the shared-memory runtime.
+
+The paper's Cholesky gets its dynamic communication pattern from a
+*central* work queue; Maxflow uses per-processor *local* queues that
+interact with a *global* queue for load balancing.  Both are implemented
+here on top of shared arrays and locks, so queue manipulation generates
+real coherence traffic in the simulation.
+
+Queue payloads are integer task ids; applications keep the task
+descriptors themselves in private (read-only) metadata.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from ..sim.events import Compute, Op
+from .primitives import Lock
+from .sharedmem import SharedMemory
+from .sync import SyncManager
+
+#: Returned by ``get`` when the queue is momentarily empty.
+EMPTY = None
+
+
+class CentralQueue:
+    """A lock-protected bounded FIFO in shared memory.
+
+    ``head``/``tail`` are shared words; ``slots`` is a shared circular
+    buffer.  All operations run inside the queue lock, so contention for
+    the queue serialises exactly as on the real machine.
+    """
+
+    def __init__(self, shm: SharedMemory, sync: SyncManager, capacity: int, name: str = "queue"):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self.lock = Lock(sync, name=f"{name}.lock")
+        self.slots = shm.array(capacity, name=f"{name}.slots", align_line=True)
+        self.head = shm.scalar(name=f"{name}.head", fill=0)
+        self.tail = shm.scalar(name=f"{name}.tail", fill=0)
+
+    def put(self, task: int) -> Generator[Op, None, None]:
+        """Append a task id (caller must ensure the queue is not full)."""
+        yield from self.lock.acquire()
+        tail = yield from self.tail.get()
+        head = yield from self.head.get()
+        if tail - head >= self.capacity:
+            yield from self.lock.release()
+            raise OverflowError(f"work queue {self.name!r} overflow (cap {self.capacity})")
+        yield from self.slots.write(int(tail) % self.capacity, task)
+        yield from self.tail.set(tail + 1)
+        yield from self.lock.release()
+
+    def get(self) -> Generator[Op, None, int | None]:
+        """Pop a task id, or ``EMPTY`` if no work is available."""
+        yield from self.lock.acquire()
+        head = yield from self.head.get()
+        tail = yield from self.tail.get()
+        if head == tail:
+            yield from self.lock.release()
+            return EMPTY
+        task = yield from self.slots.read(int(head) % self.capacity)
+        yield from self.head.set(head + 1)
+        yield from self.lock.release()
+        return int(task)
+
+    def put_nolock(self, task: int) -> Generator[Op, None, None]:
+        """Append while the caller already holds :attr:`lock`."""
+        tail = yield from self.tail.get()
+        yield from self.slots.write(int(tail) % self.capacity, task)
+        yield from self.tail.set(tail + 1)
+
+
+class TaskPool:
+    """Central queue + termination detection via an outstanding-task count.
+
+    The canonical worker loop::
+
+        while True:
+            task = yield from pool.get_task()
+            if task is None:
+                break            # global termination
+            ...process...
+            for t in new_tasks:
+                yield from pool.add_task(t)
+            yield from pool.task_done()
+
+    ``outstanding`` counts queued + in-flight tasks; when it reaches zero
+    no task can ever appear again, so idle workers may exit.
+    """
+
+    #: Busy-wait backoff between empty polls, in cycles.
+    POLL_BACKOFF = 50.0
+
+    def __init__(self, shm: SharedMemory, sync: SyncManager, capacity: int, name: str = "pool"):
+        self.queue = CentralQueue(shm, sync, capacity, name=name)
+        self.outstanding = shm.scalar(name=f"{name}.outstanding", fill=0)
+        self.counter_lock = Lock(sync, name=f"{name}.count_lock")
+
+    def seed(self, tasks: list[int]) -> None:
+        """Pre-load tasks before the simulation starts (setup time)."""
+        head = int(self.queue.head.value())
+        tail = int(self.queue.tail.value())
+        if tail - head + len(tasks) > self.queue.capacity:
+            raise OverflowError("seeding beyond queue capacity")
+        for k, t in enumerate(tasks):
+            self.queue.slots.poke((tail + k) % self.queue.capacity, t)
+        self.queue.tail.poke(0, tail + len(tasks))
+        self.outstanding.poke(0, self.outstanding.value() + len(tasks))
+
+    def add_task(self, task: int) -> Generator[Op, None, None]:
+        yield from self.counter_lock.acquire()
+        yield from self.outstanding.incr(1)
+        yield from self.counter_lock.release()
+        yield from self.queue.put(task)
+
+    def task_done(self) -> Generator[Op, None, None]:
+        yield from self.counter_lock.acquire()
+        yield from self.outstanding.incr(-1)
+        yield from self.counter_lock.release()
+
+    def get_task(self) -> Generator[Op, None, int | None]:
+        """Blocking pop: polls until a task arrives or all work is done."""
+        while True:
+            task = yield from self.queue.get()
+            if task is not None:
+                return task
+            remaining = yield from self.outstanding.get()
+            if remaining <= 0:
+                return None
+            yield Compute(self.POLL_BACKOFF)

@@ -1,0 +1,37 @@
+"""Execution-driven discrete-event simulation kernel (SPASM analogue)."""
+
+from .engine import DeadlockError, Engine
+from .events import (
+    Acquire,
+    BarrierWait,
+    Compute,
+    Fence,
+    Op,
+    Read,
+    ReadNB,
+    Release,
+    Stall,
+    Write,
+)
+from .stats import AccessResult, ProcStats, SimResult
+from .trace import TraceEvent, TracingMemory
+
+__all__ = [
+    "AccessResult",
+    "Acquire",
+    "BarrierWait",
+    "Compute",
+    "DeadlockError",
+    "Engine",
+    "Fence",
+    "Op",
+    "ProcStats",
+    "Read",
+    "ReadNB",
+    "Release",
+    "SimResult",
+    "Stall",
+    "TraceEvent",
+    "TracingMemory",
+    "Write",
+]

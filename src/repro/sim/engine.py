@@ -1,0 +1,311 @@
+"""Execution-driven discrete-event simulation kernel.
+
+This is the Python counterpart of the SPASM framework used by the paper:
+application threads execute for real (they are generator coroutines that
+compute real values), and every shared-memory access traps into the
+simulated memory system, which decides how much simulated time the access
+costs and how the cycles are categorised.
+
+Scheduling is conservative: the engine always resumes the runnable thread
+with the smallest local clock, so operations are *issued* in global
+simulated-time order.  For data-race-free applications (the paper's
+assumption) this guarantees that the values observed by the Python-level
+execution are the values the simulated machine would observe.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Protocol
+
+from ..config import MachineConfig
+from .events import (
+    Acquire,
+    BarrierWait,
+    Compute,
+    Fence,
+    FlagSet,
+    FlagWait,
+    Op,
+    Read,
+    ReadNB,
+    Release,
+    SelfInvalidate,
+    Stall,
+    Write,
+)
+from .stats import AccessResult, ProcStats, SimResult
+
+
+class MemorySystemProtocol(Protocol):
+    """What the engine requires of a memory system model."""
+
+    def read(self, proc: int, addr: int, now: float) -> AccessResult: ...
+
+    def write(self, proc: int, addr: int, now: float) -> AccessResult: ...
+
+    def acquire(self, proc: int, now: float) -> AccessResult: ...
+
+    def release(self, proc: int, now: float) -> AccessResult: ...
+
+
+class SyncManagerProtocol(Protocol):
+    """What the engine requires of a synchronisation manager."""
+
+    def bind(self, engine: "Engine") -> None: ...
+
+    def acquire(self, proc: int, lock_id: int, now: float) -> float | None: ...
+
+    def release(self, proc: int, lock_id: int, now: float) -> float: ...
+
+    def barrier_wait(self, proc: int, barrier_id: int, now: float) -> float | None: ...
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no thread is runnable but some threads are blocked."""
+
+
+class _Thread:
+    __slots__ = (
+        "tid", "gen", "time", "stats", "blocked", "block_time", "done", "feedback",
+    )
+
+    def __init__(self, tid: int, gen: Generator[Op, None, None]):
+        self.tid = tid
+        self.gen = gen
+        self.time = 0.0
+        self.stats = ProcStats()
+        self.blocked = False
+        self.block_time = 0.0
+        self.done = False
+        #: (time, AccessResult | None) fed into the generator at the next
+        #: resume; None primes a fresh generator.
+        self.feedback: tuple[float, object] | None = None
+
+
+class Engine:
+    """Conservative time-ordered scheduler for simulated SPMD threads.
+
+    One thread runs per simulated processor; thread id equals processor
+    id.  Use :meth:`spawn` to install the workers, then :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        memsys: MemorySystemProtocol,
+        syncmgr: SyncManagerProtocol,
+        max_ops: int | None = None,
+    ):
+        self.config = config
+        self.memsys = memsys
+        self.syncmgr = syncmgr
+        self.max_ops = max_ops
+        self._threads: dict[int, _Thread] = {}
+        self._heap: list[tuple[float, int, int]] = []
+        self._seq = 0
+        self._ops_executed = 0
+        syncmgr.bind(self)
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def spawn(self, tid: int, gen: Generator[Op, None, None]) -> None:
+        """Install generator ``gen`` as the thread for processor ``tid``."""
+        if tid in self._threads:
+            raise ValueError(f"thread {tid} already spawned")
+        if not 0 <= tid < self.config.nprocs:
+            raise ValueError(
+                f"thread id {tid} outside processor range 0..{self.config.nprocs - 1}"
+            )
+        thread = _Thread(tid, gen)
+        self._threads[tid] = thread
+        self._push(thread)
+
+    def spawn_all(self, gens: Iterable[Generator[Op, None, None]]) -> None:
+        for tid, gen in enumerate(gens):
+            self.spawn(tid, gen)
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def _push(self, thread: _Thread) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (thread.time, self._seq, thread.tid))
+
+    def wake(self, tid: int, grant_time: float) -> None:
+        """Unblock thread ``tid``; it resumes at ``grant_time``.
+
+        The interval between the moment the thread blocked and
+        ``grant_time`` is accounted as synchronisation wait.
+        """
+        thread = self._threads[tid]
+        if not thread.blocked:
+            raise RuntimeError(f"wake() on non-blocked thread {tid}")
+        thread.blocked = False
+        thread.stats.sync_wait += max(0.0, grant_time - thread.block_time)
+        thread.time = max(thread.time, grant_time)
+        self._push(thread)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Run all threads to completion and return the statistics."""
+        while self._heap:
+            time, seq, tid = heapq.heappop(self._heap)
+            thread = self._threads[tid]
+            if thread.done or thread.blocked or thread.time != time:
+                # stale heap entry (thread was re-pushed or woken)
+                continue
+            self._run_thread(thread)
+        blocked = [t.tid for t in self._threads.values() if t.blocked]
+        unfinished = [t.tid for t in self._threads.values() if not t.done]
+        if blocked:
+            raise DeadlockError(
+                f"simulation deadlocked: threads {blocked} blocked, "
+                f"threads {unfinished} unfinished"
+            )
+        total = max((t.stats.finish_time for t in self._threads.values()), default=0.0)
+        procs = [self._threads[tid].stats for tid in sorted(self._threads)]
+        return SimResult(total_time=total, procs=procs)
+
+    def _run_thread(self, thread: _Thread) -> None:
+        """Resume ``thread``, executing ops while it holds the global min clock."""
+        gen = thread.gen
+        stats = thread.stats
+        while True:
+            try:
+                op = gen.send(thread.feedback)
+            except StopIteration:
+                thread.done = True
+                stats.finish_time = thread.time
+                return
+            self._ops_executed += 1
+            if self.max_ops is not None and self._ops_executed > self.max_ops:
+                raise RuntimeError(
+                    f"operation budget exceeded ({self.max_ops}); "
+                    "likely runaway application loop"
+                )
+            cls = op.__class__
+            now = thread.time
+            thread.feedback = None
+            if cls is Compute:
+                stats.busy += op.cycles
+                thread.time = now + op.cycles
+            elif cls is Read:
+                res = self.memsys.read(thread.tid, op.addr, now)
+                stats.reads += 1
+                if res.hit:
+                    stats.read_hits += 1
+                else:
+                    stats.read_misses += 1
+                self._charge(stats, thread, now, res)
+            elif cls is Write:
+                res = self.memsys.write(thread.tid, op.addr, now)
+                stats.writes += 1
+                self._charge(stats, thread, now, res)
+            elif cls is Acquire:
+                res = self.memsys.acquire(thread.tid, now)
+                self._charge(stats, thread, now, res)
+                stats.acquires += 1
+                grant = self.syncmgr.acquire(thread.tid, op.lock_id, thread.time)
+                if grant is None:
+                    self._block(thread)
+                    return
+                stats.sync_wait += max(0.0, grant - thread.time)
+                thread.time = max(thread.time, grant)
+            elif cls is Release:
+                res = self.memsys.release(thread.tid, now)
+                self._charge(stats, thread, now, res)
+                stats.releases += 1
+                done = self.syncmgr.release(thread.tid, op.lock_id, thread.time)
+                stats.sync_wait += max(0.0, done - thread.time)
+                thread.time = max(thread.time, done)
+            elif cls is BarrierWait:
+                res = self.memsys.release(thread.tid, now)
+                self._charge(stats, thread, now, res)
+                stats.barriers += 1
+                depart = self.syncmgr.barrier_wait(thread.tid, op.barrier_id, thread.time)
+                if depart is None:
+                    self._block(thread)
+                    return
+                stats.sync_wait += max(0.0, depart - thread.time)
+                thread.time = max(thread.time, depart)
+            elif cls is Fence:
+                res = self.memsys.release(thread.tid, now)
+                self._charge(stats, thread, now, res)
+            elif cls is ReadNB:
+                res = self.memsys.read(thread.tid, op.addr, now)
+                stats.reads += 1
+                if res.hit:
+                    stats.read_hits += 1
+                else:
+                    stats.read_misses += 1
+                # Non-blocking: the processor only pays the issue cost;
+                # the caller sees the full AccessResult and manages the
+                # remaining latency itself.
+                issue = self.config.cache_hit_cycles
+                stats.busy += issue
+                thread.time = now + issue
+                thread.feedback = (thread.time, res)
+            elif cls is FlagSet:
+                proceed, data_ready = self.memsys.publish(thread.tid, op.blocks, now)
+                done = self.syncmgr.flag_set(thread.tid, op.flag_id, proceed, data_ready)
+                stats.busy += max(0.0, done - now)
+                thread.time = max(now, done)
+            elif cls is FlagWait:
+                depart = self.syncmgr.flag_wait(thread.tid, op.flag_id, op.epoch, now)
+                if depart is None:
+                    self._block(thread)
+                    return
+                stats.sync_wait += max(0.0, depart - now)
+                thread.time = max(now, depart)
+            elif cls is SelfInvalidate:
+                self.memsys.self_invalidate(thread.tid, op.blocks, now)
+                cost = len(op.blocks) * 1.0
+                stats.busy += cost
+                thread.time = now + cost
+            elif cls is Stall:
+                if op.category == "read":
+                    stats.read_stall += op.cycles
+                elif op.category == "write":
+                    stats.write_stall += op.cycles
+                elif op.category == "flush":
+                    stats.buffer_flush += op.cycles
+                else:
+                    stats.sync_wait += op.cycles
+                thread.time = now + op.cycles
+            else:
+                raise TypeError(f"thread {thread.tid} yielded non-Op {op!r}")
+            if thread.feedback is None:
+                thread.feedback = (thread.time, None)
+            # Horizon must be re-read every iteration: a release/barrier
+            # above may have woken a thread at an *earlier* time than our
+            # clock, and running past it would issue operations out of
+            # global time order.
+            if self._heap and thread.time > self._heap[0][0]:
+                self._push(thread)
+                return
+
+    def _block(self, thread: _Thread) -> None:
+        thread.blocked = True
+        thread.block_time = thread.time
+
+    @staticmethod
+    def _charge(stats: ProcStats, thread: _Thread, now: float, res: AccessResult) -> None:
+        """Advance the thread clock and bucket the elapsed cycles."""
+        elapsed = res.time - now
+        if elapsed < -1e-9:
+            raise RuntimeError(
+                f"memory system returned completion {res.time} before issue {now}"
+            )
+        stalls = res.read_stall + res.write_stall + res.buffer_flush
+        stats.read_stall += res.read_stall
+        stats.write_stall += res.write_stall
+        stats.buffer_flush += res.buffer_flush
+        # Whatever the stall categories do not claim is pipeline/busy time
+        # (e.g. the one-cycle cache-hit cost).
+        stats.busy += max(0.0, elapsed - stalls)
+        thread.time = res.time

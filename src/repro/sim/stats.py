@@ -1,0 +1,122 @@
+"""Per-processor and machine-wide statistics.
+
+The decomposition follows the paper: execution time on each processor is
+busy time plus *read stall*, *write stall*, *buffer flush* (the three
+memory-system overhead categories) plus synchronisation wait (inherent
+process-coordination cost, not a memory-system overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProcStats:
+    """Cycle and event counters for one simulated processor."""
+
+    busy: float = 0.0
+    read_stall: float = 0.0
+    write_stall: float = 0.0
+    buffer_flush: float = 0.0
+    sync_wait: float = 0.0
+
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    acquires: int = 0
+    releases: int = 0
+    barriers: int = 0
+    finish_time: float = 0.0
+
+    @property
+    def overhead(self) -> float:
+        """Total memory-system overhead cycles on this processor."""
+        return self.read_stall + self.write_stall + self.buffer_flush
+
+    @property
+    def accounted(self) -> float:
+        """Cycles accounted to any category (excludes end-of-run idle)."""
+        return self.busy + self.overhead + self.sync_wait
+
+
+@dataclass
+class SimResult:
+    """Result of one simulation run."""
+
+    total_time: float
+    procs: list[ProcStats]
+    network_messages: int = 0
+    network_bytes: int = 0
+    network_busy_cycles: float = 0.0
+
+    @property
+    def nprocs(self) -> int:
+        return len(self.procs)
+
+    def _mean(self, attr: str) -> float:
+        return sum(getattr(p, attr) for p in self.procs) / len(self.procs)
+
+    @property
+    def mean_busy(self) -> float:
+        return self._mean("busy")
+
+    @property
+    def mean_read_stall(self) -> float:
+        return self._mean("read_stall")
+
+    @property
+    def mean_write_stall(self) -> float:
+        return self._mean("write_stall")
+
+    @property
+    def mean_buffer_flush(self) -> float:
+        return self._mean("buffer_flush")
+
+    @property
+    def mean_sync_wait(self) -> float:
+        return self._mean("sync_wait")
+
+    @property
+    def mean_overhead(self) -> float:
+        return self._mean("read_stall") + self._mean("write_stall") + self._mean("buffer_flush")
+
+    @property
+    def overhead_pct(self) -> float:
+        """Mean memory-system overhead as % of total execution time.
+
+        This is the number printed on top of each bar in Figures 2-5.
+        """
+        if self.total_time == 0:
+            return 0.0
+        return 100.0 * self.mean_overhead / self.total_time
+
+    @property
+    def total_reads(self) -> int:
+        return sum(p.reads for p in self.procs)
+
+    @property
+    def total_writes(self) -> int:
+        return sum(p.writes for p in self.procs)
+
+    @property
+    def total_read_misses(self) -> int:
+        return sum(p.read_misses for p in self.procs)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single memory-system access.
+
+    ``time`` is the absolute completion time; the stall fields say how the
+    cycles between issue and completion should be categorised (anything
+    not claimed by a stall category is busy/latency charged as busy).
+    """
+
+    time: float
+    read_stall: float = 0.0
+    write_stall: float = 0.0
+    buffer_flush: float = 0.0
+    hit: bool = False
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,132 @@
+"""Optional access tracing.
+
+Wrap any memory system in :class:`TracingMemory` to record every shared
+access with its timing and stall decomposition — the moral equivalent of
+SPASM's event logs.  Useful for debugging protocol models and for
+explaining where an application's overhead comes from.
+
+    machine = Machine(cfg, "RCinv")
+    trace = TracingMemory.attach(machine)
+    machine.run(worker)
+    hot = trace.hottest_blocks(5)
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .stats import AccessResult
+
+
+@dataclass
+class TraceEvent:
+    """One traced memory-system operation."""
+
+    kind: str  # "read" | "write" | "acquire" | "release"
+    proc: int
+    addr: int | None
+    issue: float
+    complete: float
+    read_stall: float
+    write_stall: float
+    buffer_flush: float
+    hit: bool
+
+    @property
+    def latency(self) -> float:
+        return self.complete - self.issue
+
+
+class TracingMemory:
+    """Decorates a memory system, recording every call.
+
+    ``max_events`` bounds memory use; older events are dropped (the
+    counters keep full totals).
+    """
+
+    def __init__(self, inner, max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.inner = inner
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._block_stall: Counter[int] = Counter()
+        self._block_access: Counter[int] = Counter()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def attach(cls, machine, max_events: int = 100_000) -> "TracingMemory":
+        """Interpose a tracer between a Machine's engine and memory."""
+        tracer = cls(machine.memsys, max_events)
+        machine.engine.memsys = tracer
+        return tracer
+
+    # -- memory-system protocol ------------------------------------------
+    def _record(self, kind: str, proc: int, addr: int | None, issue: float, res: AccessResult) -> AccessResult:
+        if len(self.events) < self.max_events:
+            self.events.append(
+                TraceEvent(
+                    kind=kind,
+                    proc=proc,
+                    addr=addr,
+                    issue=issue,
+                    complete=res.time,
+                    read_stall=res.read_stall,
+                    write_stall=res.write_stall,
+                    buffer_flush=res.buffer_flush,
+                    hit=res.hit,
+                )
+            )
+        else:
+            self.dropped += 1
+        if addr is not None:
+            block = addr // self.inner.line_size
+            self._block_access[block] += 1
+            stall = res.read_stall + res.write_stall
+            if stall:
+                self._block_stall[block] += stall
+        return res
+
+    def read(self, proc: int, addr: int, now: float) -> AccessResult:
+        return self._record("read", proc, addr, now, self.inner.read(proc, addr, now))
+
+    def write(self, proc: int, addr: int, now: float) -> AccessResult:
+        return self._record("write", proc, addr, now, self.inner.write(proc, addr, now))
+
+    def acquire(self, proc: int, now: float) -> AccessResult:
+        return self._record("acquire", proc, None, now, self.inner.acquire(proc, now))
+
+    def release(self, proc: int, now: float) -> AccessResult:
+        return self._record("release", proc, None, now, self.inner.release(proc, now))
+
+    def __getattr__(self, name: str):
+        # Delegate everything else (traffic_summary, caches, ...) inward.
+        return getattr(self.inner, name)
+
+    # -- analysis ---------------------------------------------------------
+    def hottest_blocks(self, n: int = 10) -> list[tuple[int, float]]:
+        """Blocks ranked by accumulated stall cycles."""
+        return self._block_stall.most_common(n)
+
+    def busiest_blocks(self, n: int = 10) -> list[tuple[int, int]]:
+        """Blocks ranked by access count."""
+        return self._block_access.most_common(n)
+
+    def events_for_proc(self, proc: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.proc == proc]
+
+    def summary(self) -> dict[str, float]:
+        reads = [e for e in self.events if e.kind == "read"]
+        return {
+            "events": len(self.events) + self.dropped,
+            "recorded": len(self.events),
+            "reads": len(reads),
+            "read_miss_rate": (
+                sum(1 for e in reads if not e.hit) / len(reads) if reads else 0.0
+            ),
+            "total_stall": sum(
+                e.read_stall + e.write_stall + e.buffer_flush for e in self.events
+            ),
+        }

@@ -1,0 +1,41 @@
+"""Key generation for the NAS Integer Sort kernel.
+
+The NAS IS benchmark ranks keys drawn from an approximately Gaussian
+distribution (each key is the average of four uniform draws scaled to
+the key range); a uniform generator is provided as well.  Paper problem
+size: 32K keys, 1K buckets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def nas_keys(n: int = 32768, max_key: int = 1024, seed: int = 0) -> np.ndarray:
+    """NAS-style keys: mean of 4 uniforms, scaled to [0, max_key)."""
+    if n < 1 or max_key < 1:
+        raise ValueError("n and max_key must be positive")
+    rng = np.random.default_rng(seed)
+    r = rng.random((n, 4)).mean(axis=1)
+    keys = np.floor(r * max_key).astype(np.int64)
+    return np.clip(keys, 0, max_key - 1)
+
+
+def uniform_keys(n: int = 32768, max_key: int = 1024, seed: int = 0) -> np.ndarray:
+    """Uniformly distributed keys in [0, max_key)."""
+    if n < 1 or max_key < 1:
+        raise ValueError("n and max_key must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, max_key, size=n, dtype=np.int64)
+
+
+def reference_ranks(keys: np.ndarray) -> np.ndarray:
+    """Stable ranks: position of each key in the sorted order.
+
+    Equal keys are ranked by original index (the tie-break the parallel
+    bucket sort produces when processors scan keys in index order).
+    """
+    order = np.argsort(keys, kind="stable")
+    ranks = np.empty(len(keys), dtype=np.int64)
+    ranks[order] = np.arange(len(keys))
+    return ranks

@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime import Machine
+
+ALL_SYSTEMS = ["z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv"]
+REAL_SYSTEMS = ["RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv"]
+PAPER_SYSTEMS = ["z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp"]
+
+
+@pytest.fixture
+def cfg4() -> MachineConfig:
+    return MachineConfig(nprocs=4)
+
+
+@pytest.fixture
+def cfg8() -> MachineConfig:
+    return MachineConfig(nprocs=8)
+
+
+@pytest.fixture
+def cfg16() -> MachineConfig:
+    return MachineConfig(nprocs=16)
+
+
+def make_machine(system: str = "RCinv", nprocs: int = 4, **cfg_kwargs) -> Machine:
+    return Machine(MachineConfig(nprocs=nprocs, **cfg_kwargs), system)

@@ -1,0 +1,167 @@
+"""Data-carrying flag synchronisation (DataChannel, paper Section 6)."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime import Barrier, DataChannel, Machine
+from repro.sim.events import Compute, FlagSet, FlagWait
+
+ALL_SYSTEMS = ["z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv"]
+
+
+def pipeline(system, epochs=4, nwords=16, nprocs=4, depth=2, producer_gap=100):
+    machine = Machine(MachineConfig(nprocs=nprocs), system)
+    chan = DataChannel(machine, nwords=nwords, consumers=nprocs - 1, depth=depth)
+    seen: list[tuple[int, int, list]] = []
+
+    def worker(ctx):
+        if ctx.pid == 0:
+            for e in range(epochs):
+                yield Compute(producer_gap)
+                yield from chan.produce([e * 1000 + i for i in range(nwords)])
+        else:
+            reader = chan.reader()
+            for e in range(epochs):
+                vals = yield from reader.next()
+                seen.append((ctx.pid, e, vals))
+
+    result = machine.run(worker)
+    return machine, result, seen
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_every_consumer_sees_every_epoch(self, system):
+        _, _, seen = pipeline(system)
+        assert len(seen) == 3 * 4
+        for pid, e, vals in seen:
+            assert vals == [e * 1000 + i for i in range(16)]
+
+    def test_depth_one_fully_synchronous(self):
+        _, _, seen = pipeline("RCupd", depth=1)
+        assert all(vals[0] == e * 1000 for _, e, vals in seen)
+
+    def test_deep_ring(self):
+        _, _, seen = pipeline("RCinv", epochs=8, depth=4)
+        assert len(seen) == 3 * 8
+
+    def test_slow_consumers_backpressure_producer(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        chan = DataChannel(machine, nwords=8, consumers=1, depth=2)
+        order = []
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                for e in range(4):
+                    yield from chan.produce([e] * 8)
+                    order.append(("produced", e))
+            else:
+                reader = chan.reader()
+                for e in range(4):
+                    yield Compute(5000)  # slow consumer
+                    vals = yield from reader.next()
+                    order.append(("consumed", int(vals[0])))
+
+        machine.run(worker)
+        # the producer can never be more than `depth` epochs ahead
+        outstanding = 0
+        for kind, _ in order:
+            outstanding += 1 if kind == "produced" else -1
+            assert outstanding <= 2
+
+    def test_validation(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        with pytest.raises(ValueError):
+            DataChannel(machine, nwords=0, consumers=1)
+        with pytest.raises(ValueError):
+            DataChannel(machine, nwords=4, consumers=0)
+        with pytest.raises(ValueError):
+            DataChannel(machine, nwords=4, consumers=1, depth=0)
+        chan = DataChannel(machine, nwords=4, consumers=1)
+        with pytest.raises(ValueError):
+            next(chan.produce([1, 2]))  # wrong payload size
+        with pytest.raises(ValueError):
+            next(chan.consume(0))  # epochs are 1-based
+
+
+class TestDecoupledOverheads:
+    def test_producer_pays_no_buffer_flush(self):
+        for system in ("RCinv", "RCupd", "RCcomp"):
+            _, result, _ = pipeline(system)
+            assert result.procs[0].buffer_flush == 0.0, system
+
+    def test_channel_beats_barrier_sync_on_updates(self):
+        """The same producer-consumer pattern via barriers forces the
+        producer to flush at every barrier; the channel avoids it."""
+        epochs, nwords, nprocs = 4, 16, 4
+
+        def barrier_version():
+            machine = Machine(MachineConfig(nprocs=nprocs), "RCupd")
+            data = machine.shm.array(nwords, "data", align_line=True)
+            bar = Barrier(machine.sync)
+
+            def worker(ctx):
+                for e in range(epochs):
+                    if ctx.pid == 0:
+                        yield Compute(100)
+                        yield from data.write_range(0, [e * 1000 + i for i in range(nwords)])
+                    yield from bar.wait()
+                    if ctx.pid != 0:
+                        yield from data.read_range(0, nwords)
+                    yield from bar.wait()
+
+            return machine.run(worker)
+
+        res_barrier = barrier_version()
+        _, res_chan, _ = pipeline("RCupd", epochs=epochs, nwords=nwords, nprocs=nprocs)
+        assert res_barrier.procs[0].buffer_flush > 0
+        assert res_chan.procs[0].buffer_flush == 0.0
+
+
+class TestFlagPrimitive:
+    def test_wait_after_set_is_immediate(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        flag = machine.sync.new_flag()
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                yield FlagSet(flag, ())
+            else:
+                yield Compute(10000)
+                yield FlagWait(flag, 1)
+
+        res = machine.run(worker)
+        assert res.procs[1].sync_wait < 200  # just the round trip
+
+    def test_wait_blocks_until_set(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        flag = machine.sync.new_flag()
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                yield Compute(5000)
+                yield FlagSet(flag, ())
+            else:
+                yield FlagWait(flag, 1)
+
+        res = machine.run(worker)
+        assert res.procs[1].sync_wait > 4000
+
+    def test_epoch_semantics(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        flag = machine.sync.new_flag()
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                for _ in range(3):
+                    yield Compute(100)
+                    yield FlagSet(flag, ())
+            else:
+                yield FlagWait(flag, 3)  # waits for the third set
+                assert machine.sync.flag_epoch(flag) >= 3
+
+        machine.run(worker)
+
+    def test_invalid_epoch(self):
+        with pytest.raises(ValueError):
+            FlagWait(0, epoch=0)

@@ -1,0 +1,79 @@
+"""Property-based tests for the DataChannel and TaskPool."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.config import MachineConfig
+from repro.runtime import DataChannel, Machine, TaskPool
+from repro.sim.events import Compute
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SLOW
+@given(
+    system=st.sampled_from(["z-mc", "RCinv", "RCupd", "RCcomp", "RCadapt"]),
+    epochs=st.integers(1, 6),
+    nwords=st.integers(1, 24),
+    depth=st.integers(1, 4),
+    nprocs=st.integers(2, 6),
+    gaps=st.booleans(),
+)
+def test_channel_delivers_every_epoch_in_order(system, epochs, nwords, depth, nprocs, gaps):
+    machine = Machine(MachineConfig(nprocs=nprocs), system)
+    chan = DataChannel(machine, nwords=nwords, consumers=nprocs - 1, depth=depth)
+    seen: dict[int, list[int]] = {p: [] for p in range(1, nprocs)}
+
+    def worker(ctx):
+        if ctx.pid == 0:
+            for e in range(epochs):
+                if gaps:
+                    yield Compute(500)
+                yield from chan.produce([e] * nwords)
+        else:
+            reader = chan.reader()
+            for _ in range(epochs):
+                vals = yield from reader.next()
+                assert len(set(vals)) == 1  # payloads are never torn
+                seen[ctx.pid].append(int(vals[0]))
+                if not gaps:
+                    yield Compute(300)
+
+    machine.run(worker)
+    for pid, epochs_seen in seen.items():
+        assert epochs_seen == list(range(epochs))
+
+
+@SLOW
+@given(
+    system=st.sampled_from(["z-mc", "RCinv", "RCupd"]),
+    seeds=st.lists(st.integers(1, 30), min_size=1, max_size=6, unique=True),
+    fanout=st.integers(0, 2),
+    nprocs=st.integers(1, 6),
+)
+def test_taskpool_executes_every_task_exactly_once(system, seeds, fanout, nprocs):
+    machine = Machine(MachineConfig(nprocs=nprocs), system)
+    pool = TaskPool(machine.shm, machine.sync, capacity=512)
+    pool.seed(seeds)
+    done: list[int] = []
+
+    def worker(ctx):
+        while True:
+            t = yield from pool.get_task()
+            if t is None:
+                break
+            done.append(t)
+            if t < 200:
+                for k in range(fanout):
+                    yield from pool.add_task(1000 + t * 4 + k)
+            yield Compute(20)
+            yield from pool.task_done()
+
+    machine.run(worker)
+    expected = sorted(seeds) + sorted(
+        1000 + t * 4 + k for t in seeds if t < 200 for k in range(fanout)
+    )
+    assert sorted(done) == sorted(expected)

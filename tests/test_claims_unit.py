@@ -1,0 +1,117 @@
+"""Claim-check logic on synthetic study results."""
+
+import pytest
+
+from repro.analysis.claims import (
+    check_buffer_flush_order,
+    check_rcinv_read_stall_dominant,
+    check_read_stall_gap,
+    check_write_stall_order,
+    check_zmachine_near_zero,
+    format_claims,
+    standard_claims,
+)
+from repro.config import MachineConfig
+from repro.core.study import StudyResult, SystemResult
+
+
+def sysres(system, total=1000.0, rs=0.0, ws=0.0, bf=0.0):
+    return SystemResult(
+        system=system,
+        total_time=total,
+        busy=total - rs - ws - bf,
+        read_stall=rs,
+        write_stall=ws,
+        buffer_flush=bf,
+        sync_wait=0.0,
+        overhead_pct=100.0 * (rs + ws + bf) / total,
+        reads=0,
+        writes=0,
+        read_misses=0,
+        network_messages=0,
+        network_bytes=0,
+    )
+
+
+def make_study(**per_system):
+    systems = [sysres(name, **kw) for name, kw in per_system.items()]
+    return StudyResult(app_name="Synthetic", config=MachineConfig(nprocs=4), systems=systems)
+
+
+class TestZMachineClaim:
+    def test_holds_below_tolerance(self):
+        study = make_study(**{"z-mc": dict(rs=5.0)})
+        assert check_zmachine_near_zero(study, tol_pct=1.0).holds
+
+    def test_fails_above_tolerance(self):
+        study = make_study(**{"z-mc": dict(rs=100.0)})
+        assert not check_zmachine_near_zero(study, tol_pct=1.0).holds
+
+
+class TestDominance:
+    def test_read_stall_dominant(self):
+        study = make_study(RCinv=dict(rs=100, ws=10, bf=10))
+        assert check_rcinv_read_stall_dominant(study).holds
+
+    def test_not_dominant(self):
+        study = make_study(RCinv=dict(rs=10, ws=100, bf=10))
+        assert not check_rcinv_read_stall_dominant(study).holds
+
+
+class TestGap:
+    def test_reuse_requires_large_ratio(self):
+        study = make_study(RCinv=dict(rs=300), RCupd=dict(rs=100))
+        assert check_read_stall_gap(study, expect_reuse=True).holds
+        study2 = make_study(RCinv=dict(rs=120), RCupd=dict(rs=100))
+        assert not check_read_stall_gap(study2, expect_reuse=True).holds
+
+    def test_no_reuse_allows_small_ratio(self):
+        study = make_study(RCinv=dict(rs=120), RCupd=dict(rs=100))
+        assert check_read_stall_gap(study, expect_reuse=False).holds
+
+    def test_zero_upd_stall_counts_as_gap(self):
+        study = make_study(RCinv=dict(rs=120), RCupd=dict(rs=0))
+        assert check_read_stall_gap(study, expect_reuse=True).holds
+
+
+class TestOrderings:
+    def test_write_stall_order_holds(self):
+        study = make_study(
+            RCinv=dict(ws=10), RCupd=dict(ws=100), RCcomp=dict(ws=50), RCadapt=dict(ws=60)
+        )
+        assert check_write_stall_order(study).holds
+
+    def test_write_stall_order_materiality(self):
+        # RCinv nominally higher but both immaterial (< 2% of total)
+        study = make_study(RCinv=dict(ws=15), RCupd=dict(ws=5))
+        assert check_write_stall_order(study).holds
+
+    def test_write_stall_order_fails_when_material(self):
+        study = make_study(RCinv=dict(ws=300), RCupd=dict(ws=5))
+        assert not check_write_stall_order(study).holds
+
+    def test_buffer_flush_order(self):
+        good = make_study(RCinv=dict(bf=10), RCupd=dict(bf=200), RCcomp=dict(bf=150))
+        assert check_buffer_flush_order(good).holds
+        bad = make_study(RCinv=dict(bf=300), RCupd=dict(bf=10))
+        assert not check_buffer_flush_order(bad).holds
+
+
+class TestFormatting:
+    def test_format_claims_marks(self):
+        study = make_study(
+            **{"z-mc": dict(rs=0.0)},
+            RCinv=dict(rs=100, ws=1, bf=1),
+            RCupd=dict(rs=40, ws=5, bf=30),
+            RCcomp=dict(rs=50, ws=3, bf=20),
+            RCadapt=dict(rs=50, ws=3, bf=20),
+        )
+        checks = standard_claims(study, expect_reuse=True)
+        text = format_claims(checks)
+        assert text.count("\n") == len(checks) - 1
+        assert "[PASS]" in text or "[FAIL]" in text
+
+    def test_missing_system_raises(self):
+        study = make_study(RCinv=dict())
+        with pytest.raises(KeyError):
+            check_read_stall_gap(study, expect_reuse=False)

@@ -1,0 +1,106 @@
+"""CLI entry point and machine-readable exports."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro import MachineConfig, run_study, table1_row
+from repro.__main__ import build_parser, main
+from repro.analysis.report import (
+    STUDY_FIELDS,
+    studies_to_csv,
+    studies_to_json,
+    study_rows,
+    table1_to_csv,
+)
+from repro.apps import IntegerSort
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study(
+        lambda: IntegerSort(n_keys=256, nbuckets=16), MachineConfig(nprocs=4)
+    )
+
+
+class TestReportExports:
+    def test_study_rows_fields(self, study):
+        rows = study_rows(study)
+        assert len(rows) == 5
+        for row in rows:
+            assert set(row) == set(STUDY_FIELDS)
+            assert row["app"] == "IS"
+
+    def test_csv_round_trip(self, study):
+        text = studies_to_csv([study])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 5
+        assert parsed[0]["system"] == "z-mc"
+        assert float(parsed[0]["overhead_pct"]) < 1.0
+
+    def test_json_round_trip(self, study):
+        doc = json.loads(studies_to_json([study]))
+        assert len(doc) == 1
+        assert doc[0]["app"] == "IS"
+        assert doc[0]["config"]["nprocs"] == 4
+        assert len(doc[0]["systems"]) == 5
+
+    def test_table1_csv(self):
+        row = table1_row(
+            lambda: IntegerSort(n_keys=256, nbuckets=16), MachineConfig(nprocs=4)
+        )
+        text = table1_to_csv([row])
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["app"] == "IS"
+        assert int(parsed[0]["shared_writes"]) > 0
+
+
+class TestCLI:
+    def test_systems_command(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "RCinv" in out and "Cholesky" in out
+
+    def test_study_text(self, capsys):
+        rc = main(["--nprocs", "4", "study", "--app", "IS", "--systems", "z-mc", "RCinv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RCinv" in out and "ovh%" in out
+
+    def test_study_json(self, capsys):
+        rc = main([
+            "--nprocs", "4", "study", "--app", "IS",
+            "--systems", "z-mc", "--format", "json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc[0]["systems"][0]["system"] == "z-mc"
+
+    def test_study_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["study", "--app", "LINPACK"])
+
+    def test_study_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["study", "--app", "IS", "--systems", "MESI"])
+
+    def test_fig1(self, capsys):
+        assert main(["--nprocs", "4", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "inherent" in out and "overhead" in out
+
+    def test_table1_csv_format(self, capsys):
+        rc = main(["--nprocs", "4", "table1", "--app", "IS", "--format", "csv"])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("app,")
+
+    def test_claims_exit_code(self, capsys):
+        rc = main(["--nprocs", "4", "claims", "--app", "IS"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

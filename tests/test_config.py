@@ -1,0 +1,109 @@
+"""MachineConfig validation and derived quantities."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, MachineConfig, _mesh_dims
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = MachineConfig()
+        assert cfg.nprocs == 16
+        assert cfg.line_size == 32
+        assert cfg.z_line_size == 4
+        assert cfg.cycles_per_byte == pytest.approx(1.6)
+        assert cfg.store_buffer_entries == 4
+        assert cfg.merge_buffer_lines == 1
+        assert cfg.cache_lines is None  # infinite caches
+
+    def test_default_config_is_shared_instance(self):
+        assert DEFAULT_CONFIG.nprocs == 16
+
+    def test_words_per_line(self):
+        assert MachineConfig().words_per_line == 8
+        assert MachineConfig(line_size=16).words_per_line == 4
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -16])
+    def test_nprocs_positive(self, bad):
+        with pytest.raises(ValueError):
+            MachineConfig(nprocs=bad)
+
+    def test_line_size_multiple_of_word(self):
+        with pytest.raises(ValueError):
+            MachineConfig(line_size=30)
+
+    def test_z_line_size_multiple_of_word(self):
+        with pytest.raises(ValueError):
+            MachineConfig(z_line_size=3)
+
+    def test_store_buffer_min(self):
+        with pytest.raises(ValueError):
+            MachineConfig(store_buffer_entries=0)
+
+    def test_merge_buffer_min(self):
+        with pytest.raises(ValueError):
+            MachineConfig(merge_buffer_lines=0)
+
+    def test_cache_lines_positive_or_none(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cache_lines=0)
+        assert MachineConfig(cache_lines=64).cache_lines == 64
+
+    def test_threshold_positive(self):
+        with pytest.raises(ValueError):
+            MachineConfig(competitive_threshold=0)
+
+    def test_cycles_per_byte_positive(self):
+        with pytest.raises(ValueError):
+            MachineConfig(cycles_per_byte=0.0)
+
+
+class TestMeshDims:
+    @pytest.mark.parametrize(
+        "n,expect",
+        [(1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (6, (2, 3)), (8, (2, 4)),
+         (12, (3, 4)), (16, (4, 4)), (15, (3, 5)), (7, (1, 7)), (36, (6, 6))],
+    )
+    def test_most_square_factorisation(self, n, expect):
+        assert _mesh_dims(n) == expect
+
+    def test_mesh_dims_property(self):
+        assert MachineConfig(nprocs=16).mesh_dims == (4, 4)
+
+    def test_mesh_dims_rejects_zero(self):
+        with pytest.raises(ValueError):
+            _mesh_dims(0)
+
+
+class TestHelpers:
+    def test_replace_returns_new_config(self):
+        cfg = MachineConfig()
+        cfg2 = cfg.replace(nprocs=8)
+        assert cfg.nprocs == 16
+        assert cfg2.nprocs == 8
+        assert cfg2.line_size == cfg.line_size
+
+    def test_replace_validates(self):
+        with pytest.raises(ValueError):
+            MachineConfig().replace(nprocs=-1)
+
+    def test_frozen(self):
+        cfg = MachineConfig()
+        with pytest.raises(AttributeError):
+            cfg.nprocs = 8  # type: ignore[misc]
+
+    def test_home_node_interleaving(self):
+        cfg = MachineConfig(nprocs=4)
+        assert [cfg.home_node(b) for b in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_block_of_default_line(self):
+        cfg = MachineConfig()
+        assert cfg.block_of(0) == 0
+        assert cfg.block_of(31) == 0
+        assert cfg.block_of(32) == 1
+
+    def test_block_of_explicit_line(self):
+        cfg = MachineConfig()
+        assert cfg.block_of(7, line_size=4) == 1

@@ -1,0 +1,137 @@
+"""Invariants that must hold across every memory system.
+
+A fixed lock/barrier workload is executed on all six systems; whatever
+the protocol, the computed values, the operation counts, and the basic
+accounting identities must agree.
+"""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime import Barrier, Lock, Machine
+from repro.sim.events import Compute
+
+ALL_SYSTEMS = ["z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv"]
+
+
+def run_workload(system: str, nprocs: int = 4):
+    machine = Machine(MachineConfig(nprocs=nprocs), system)
+    arr = machine.shm.array(nprocs * 8, "a", align_line=True)
+    total = machine.shm.scalar("total", fill=0)
+    lock = Lock(machine.sync)
+    bar = Barrier(machine.sync)
+
+    def worker(ctx):
+        base = ctx.pid * 8
+        for i in range(8):
+            yield from arr.write(base + i, ctx.pid * 10 + i)
+            yield Compute(5)
+        yield from bar.wait()
+        other = ((ctx.pid + 1) % ctx.nprocs) * 8
+        vals = yield from arr.read_range(other, other + 8)
+        yield from lock.acquire()
+        yield from total.incr(sum(vals))
+        yield from lock.release()
+        yield from bar.wait()
+
+    result = machine.run(worker)
+    return machine, result, total.value()
+
+
+@pytest.fixture(scope="module")
+def all_runs():
+    return {s: run_workload(s) for s in ALL_SYSTEMS}
+
+
+class TestValueEquivalence:
+    def test_same_result_on_every_system(self, all_runs):
+        values = {s: v for s, (_, _, v) in all_runs.items()}
+        expected = sum(sum(p * 10 + i for i in range(8)) for p in range(4))
+        assert all(v == expected for v in values.values()), values
+
+
+class TestAccountingIdentities:
+    def test_op_counts_identical(self, all_runs):
+        counts = {
+            s: (r.total_reads, r.total_writes) for s, (_, r, _) in all_runs.items()
+        }
+        assert len(set(counts.values())) == 1, counts
+
+    def test_finish_time_bounds_categories(self, all_runs):
+        for s, (_, r, _) in all_runs.items():
+            for p in r.procs:
+                assert p.accounted <= p.finish_time + 1e-6, (s, p)
+
+    def test_total_time_is_max_finish(self, all_runs):
+        for s, (_, r, _) in all_runs.items():
+            assert r.total_time == pytest.approx(max(p.finish_time for p in r.procs))
+
+    def test_nonnegative_categories(self, all_runs):
+        for s, (_, r, _) in all_runs.items():
+            for p in r.procs:
+                assert p.busy >= 0 and p.read_stall >= 0
+                assert p.write_stall >= 0 and p.buffer_flush >= 0
+                assert p.sync_wait >= 0
+
+
+class TestOrderings:
+    def test_zmachine_is_fastest(self, all_runs):
+        z = all_runs["z-mc"][1].total_time
+        for s, (_, r, _) in all_runs.items():
+            assert r.total_time >= z - 1e-9, s
+
+    def test_zmachine_zero_overheads(self, all_runs):
+        r = all_runs["z-mc"][1]
+        assert r.mean_write_stall == 0.0
+        assert r.mean_buffer_flush == 0.0
+
+    def test_sc_never_beats_rcinv(self, all_runs):
+        """Relaxing consistency can only help (same protocol otherwise)."""
+        assert (
+            all_runs["SCinv"][1].total_time
+            >= all_runs["RCinv"][1].total_time - 1e-9
+        )
+
+    def test_sc_has_no_buffer_flush(self, all_runs):
+        assert all_runs["SCinv"][1].mean_buffer_flush == 0.0
+
+    def test_update_systems_keep_consumers_hitting(self, all_runs):
+        """With one producer-consumer round, the update protocols must
+        show fewer read misses than the invalidate protocol... here all
+        reads are cold (single round), so they tie; run a second round
+        variant to expose the difference."""
+        def two_rounds(system):
+            machine = Machine(MachineConfig(nprocs=4), system)
+            arr = machine.shm.array(32, "a", align_line=True)
+            bar = Barrier(machine.sync)
+
+            def worker(ctx):
+                for _ in range(3):
+                    base = ctx.pid * 8
+                    for i in range(8):
+                        yield from arr.write(base + i, i)
+                    yield from bar.wait()
+                    other = ((ctx.pid + 1) % 4) * 8
+                    yield from arr.read_range(other, other + 8)
+                    yield from bar.wait()
+
+            return machine.run(worker)
+
+        inv = two_rounds("RCinv")
+        upd = two_rounds("RCupd")
+        assert upd.total_read_misses < inv.total_read_misses
+
+
+class TestTrafficConsistency:
+    def test_network_bytes_positive_on_real_systems(self, all_runs):
+        for s, (_, r, _) in all_runs.items():
+            if s != "z-mc":
+                assert r.network_bytes > 0
+
+    def test_update_traffic_counted(self, all_runs):
+        machine, _, _ = all_runs["RCupd"]
+        assert machine.memsys.traffic_summary()["updates"] > 0
+
+    def test_invalidate_traffic_counted(self, all_runs):
+        machine, _, _ = all_runs["RCinv"]
+        assert machine.memsys.traffic_summary()["invalidations"] > 0

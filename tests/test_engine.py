@@ -1,0 +1,265 @@
+"""Execution-driven engine: scheduling, accounting, error handling."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime import Barrier, Lock, Machine
+from repro.sim.engine import DeadlockError, Engine
+from repro.sim.events import Acquire, Compute, Fence, Read, Write
+from repro.sim.stats import AccessResult
+
+
+class FreeMemory:
+    """Memory system stub: everything completes instantly."""
+
+    def read(self, proc, addr, now):
+        return AccessResult(time=now + 1, hit=True)
+
+    def write(self, proc, addr, now):
+        return AccessResult(time=now + 1, hit=True)
+
+    def acquire(self, proc, now):
+        return AccessResult(time=now)
+
+    def release(self, proc, now):
+        return AccessResult(time=now)
+
+
+class NullSync:
+    def bind(self, engine):
+        self.engine = engine
+
+    def acquire(self, proc, lock_id, now):
+        return now
+
+    def release(self, proc, lock_id, now):
+        return now
+
+    def barrier_wait(self, proc, barrier_id, now):
+        return now
+
+
+def make_engine(nprocs=2, **kw):
+    return Engine(MachineConfig(nprocs=nprocs), FreeMemory(), NullSync(), **kw)
+
+
+class TestBasicScheduling:
+    def test_single_thread_compute(self):
+        eng = make_engine(1)
+
+        def w():
+            yield Compute(100)
+            yield Compute(50)
+
+        eng.spawn(0, w())
+        res = eng.run()
+        assert res.total_time == pytest.approx(150.0)
+        assert res.procs[0].busy == pytest.approx(150.0)
+
+    def test_total_is_max_finish(self):
+        eng = make_engine(2)
+
+        def w(c):
+            yield Compute(c)
+
+        eng.spawn(0, w(100))
+        eng.spawn(1, w(400))
+        res = eng.run()
+        assert res.total_time == pytest.approx(400.0)
+
+    def test_empty_thread_finishes_at_zero(self):
+        eng = make_engine(1)
+
+        def w():
+            return
+            yield  # pragma: no cover
+
+        eng.spawn(0, w())
+        assert eng.run().total_time == 0.0
+
+    def test_spawn_all(self):
+        eng = make_engine(3)
+
+        def w():
+            yield Compute(1)
+
+        eng.spawn_all(w() for _ in range(3))
+        assert eng.run().nprocs == 3
+
+    def test_duplicate_spawn_rejected(self):
+        eng = make_engine(2)
+
+        def w():
+            yield Compute(1)
+
+        eng.spawn(0, w())
+        with pytest.raises(ValueError):
+            eng.spawn(0, w())
+
+    def test_out_of_range_tid_rejected(self):
+        eng = make_engine(2)
+        with pytest.raises(ValueError):
+            eng.spawn(5, iter(()))
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_non_op_yield_raises(self):
+        eng = make_engine(1)
+
+        def w():
+            yield "banana"
+
+        eng.spawn(0, w())
+        with pytest.raises(TypeError):
+            eng.run()
+
+    def test_max_ops_budget(self):
+        eng = make_engine(1, max_ops=10)
+
+        def w():
+            while True:
+                yield Compute(1)
+
+        eng.spawn(0, w())
+        with pytest.raises(RuntimeError, match="budget"):
+            eng.run()
+
+
+class TestOrdering:
+    def test_global_time_order_of_writes(self):
+        """Values must reflect global simulated-time order, including
+        across a wake-up of an earlier-clock thread."""
+        cfg = MachineConfig(nprocs=2)
+        machine = Machine(cfg, "RCinv")
+        x = machine.shm.array(1, "x")
+        observed = []
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                yield Compute(10)
+                yield from x.write(0, 1)
+                yield Compute(1000)
+                yield from x.write(0, 2)
+            else:
+                yield Compute(500)
+                v = yield from x.read(0)
+                observed.append(v)
+
+        machine.run(worker)
+        assert observed == [1]  # read at t~500 sees the t~10 write only
+
+    def test_deterministic_repeat(self):
+        def build():
+            cfg = MachineConfig(nprocs=4)
+            machine = Machine(cfg, "RCupd")
+            arr = machine.shm.array(16, "a")
+            lock = Lock(machine.sync)
+            bar = Barrier(machine.sync)
+
+            def worker(ctx):
+                for i in range(4):
+                    yield from arr.write(ctx.pid * 4 + i, ctx.pid)
+                yield from bar.wait()
+                yield from lock.acquire()
+                v = yield from arr.read((ctx.pid * 4 + 7) % 16)
+                yield Compute(v + 1)
+                yield from lock.release()
+
+            return machine.run(worker)
+
+        a, b = build(), build()
+        assert a.total_time == b.total_time
+        assert [p.busy for p in a.procs] == [p.busy for p in b.procs]
+
+
+class TestAccounting:
+    def test_stall_categories_charged(self):
+        class StallMem(FreeMemory):
+            def read(self, proc, addr, now):
+                return AccessResult(time=now + 30, read_stall=30.0)
+
+            def write(self, proc, addr, now):
+                return AccessResult(time=now + 20, write_stall=15.0)
+
+            def release(self, proc, now):
+                return AccessResult(time=now + 7, buffer_flush=7.0)
+
+        eng = Engine(MachineConfig(nprocs=1), StallMem(), NullSync())
+
+        def w():
+            yield Read(0)
+            yield Write(0)
+            yield Fence()
+
+        eng.spawn(0, w())
+        res = eng.run()
+        p = res.procs[0]
+        assert p.read_stall == pytest.approx(30.0)
+        assert p.write_stall == pytest.approx(15.0)
+        assert p.buffer_flush == pytest.approx(7.0)
+        # unclaimed write latency (20-15) is busy time
+        assert p.busy == pytest.approx(5.0)
+
+    def test_counters(self):
+        eng = make_engine(1)
+
+        def w():
+            yield Read(0)
+            yield Read(4)
+            yield Write(8)
+            yield Acquire(0)
+
+        # NullSync acquires instantly; FreeMemory reads hit.
+        eng.syncmgr = NullSync()
+        eng.syncmgr.bind(eng)
+        eng.spawn(0, w())
+        res = eng.run()
+        p = res.procs[0]
+        assert p.reads == 2
+        assert p.writes == 1
+        assert p.read_hits == 2
+        assert p.acquires == 1
+
+    def test_backwards_completion_rejected(self):
+        class BadMem(FreeMemory):
+            def read(self, proc, addr, now):
+                return AccessResult(time=now - 5)
+
+        eng = Engine(MachineConfig(nprocs=1), BadMem(), NullSync())
+
+        def w():
+            yield Read(0)
+
+        eng.spawn(0, w())
+        with pytest.raises(RuntimeError):
+            eng.run()
+
+
+class TestDeadlock:
+    def test_lock_never_released_deadlocks(self):
+        cfg = MachineConfig(nprocs=2)
+        machine = Machine(cfg, "RCinv")
+        lock = Lock(machine.sync)
+
+        def worker(ctx):
+            yield from lock.acquire()
+            # pid 0 never releases; pid 1 blocks forever
+
+        with pytest.raises(DeadlockError):
+            machine.run(worker)
+
+    def test_partial_barrier_deadlocks(self):
+        cfg = MachineConfig(nprocs=2)
+        machine = Machine(cfg, "RCinv")
+        bar = Barrier(machine.sync)  # participants = 2
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                yield from bar.wait()
+            else:
+                yield Compute(1)
+
+        with pytest.raises(DeadlockError):
+            machine.run(worker)

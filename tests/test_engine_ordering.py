@@ -1,0 +1,121 @@
+"""Regression tests for global issue-order correctness.
+
+The engine once ran a thread past a freshly woken, earlier-clock thread
+(the run horizon was captured only at resume), which issued operations
+out of global time order — observable as z-machine read stalls larger
+than the link latency L.  These tests pin the invariants.
+"""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.mem.systems.zmachine import ZMachine
+from repro.runtime import Barrier, Lock, Machine, TaskPool
+from repro.sim.events import Compute
+
+
+class TestZMachineStallBound:
+    """On the z-machine every read stall is bounded by L — any larger
+    stall means operations were issued out of order."""
+
+    def _assert_bounded(self, machine, worker):
+        memsys = machine.memsys
+        assert isinstance(memsys, ZMachine)
+        bound = memsys.latency + 1e-9
+        orig = ZMachine.read
+        violations = []
+
+        def patched(self, proc, addr, now):
+            res = orig(self, proc, addr, now)
+            if res.read_stall > bound:
+                violations.append((proc, addr, res.read_stall))
+            return res
+
+        ZMachine.read = patched
+        try:
+            machine.run(worker)
+        finally:
+            ZMachine.read = orig
+        assert not violations, f"stalls exceeding L: {violations[:5]}"
+
+    def test_lock_heavy_workload(self):
+        machine = Machine(MachineConfig(nprocs=8), "z-mc")
+        lock = Lock(machine.sync)
+        counter = machine.shm.scalar("c", fill=0)
+
+        def worker(ctx):
+            for _ in range(20):
+                yield from lock.acquire()
+                yield from counter.incr(1)
+                yield from lock.release()
+                yield Compute(5)
+
+        self._assert_bounded(machine, worker)
+        assert counter.value() == 160
+
+    def test_task_pool_workload(self):
+        machine = Machine(MachineConfig(nprocs=8), "z-mc")
+        pool = TaskPool(machine.shm, machine.sync, capacity=64)
+        pool.seed([1])
+        done = []
+
+        def worker(ctx):
+            while True:
+                t = yield from pool.get_task()
+                if t is None:
+                    break
+                done.append(t)
+                if t < 20:
+                    yield from pool.add_task(2 * t)
+                    yield from pool.add_task(2 * t + 1)
+                yield Compute(100)
+                yield from pool.task_done()
+
+        self._assert_bounded(machine, worker)
+        assert sorted(done) == list(range(1, 40))
+
+    def test_barrier_heavy_workload(self):
+        machine = Machine(MachineConfig(nprocs=8), "z-mc")
+        bar = Barrier(machine.sync)
+        arr = machine.shm.array(8, "a")
+
+        def worker(ctx):
+            for step in range(10):
+                yield from arr.write(ctx.pid, step * 8 + ctx.pid)
+                yield from bar.wait()
+                v = yield from arr.read((ctx.pid + 1) % 8)
+                assert v == step * 8 + (ctx.pid + 1) % 8
+                yield from bar.wait()
+
+        self._assert_bounded(machine, worker)
+
+
+class TestValueCausality:
+    def test_woken_thread_does_not_see_future_writes(self):
+        """A thread woken at an early grant time must read the value
+        written before its resume time, not a later one."""
+        machine = Machine(MachineConfig(nprocs=3), "RCinv")
+        lock = Lock(machine.sync)
+        x = machine.shm.array(1, "x", fill=0)
+        seen = []
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                yield from lock.acquire()
+                yield from x.write(0, 1)
+                yield Compute(5000)  # hold the lock for a long time
+                yield from lock.release()
+                # long after release, write again
+                yield Compute(50000)
+                yield from x.write(0, 2)
+            elif ctx.pid == 1:
+                yield Compute(10)
+                yield from lock.acquire()  # blocks until ~5000
+                v = yield from x.read(0)
+                seen.append(v)
+                yield from lock.release()
+            else:
+                yield Compute(1)
+
+        machine.run(worker)
+        assert seen == [1]

@@ -1,0 +1,82 @@
+"""ASCII figure rendering internals."""
+
+import pytest
+
+from repro.analysis.figures import _BAR_WIDTH, _bar, format_figure
+from repro.config import MachineConfig
+from repro.core.study import StudyResult, SystemResult
+
+
+def sysres(system, total, rs=0.0, ws=0.0, bf=0.0):
+    return SystemResult(
+        system=system,
+        total_time=total,
+        busy=total - rs - ws - bf,
+        read_stall=rs,
+        write_stall=ws,
+        buffer_flush=bf,
+        sync_wait=0.0,
+        overhead_pct=100.0 * (rs + ws + bf) / total if total else 0.0,
+        reads=0,
+        writes=0,
+        read_misses=0,
+        network_messages=0,
+        network_bytes=0,
+    )
+
+
+class TestBar:
+    def test_full_scale_bar_width(self):
+        s = sysres("X", total=100.0)
+        assert len(_bar(s, scale=100.0)) == _BAR_WIDTH
+
+    def test_half_scale_bar_width(self):
+        s = sysres("X", total=50.0)
+        assert len(_bar(s, scale=100.0)) == _BAR_WIDTH // 2
+
+    def test_components_in_order(self):
+        s = sysres("X", total=100.0, rs=25.0, ws=25.0, bf=25.0)
+        bar = _bar(s, scale=100.0)
+        # busy then R then W then F, each a quarter of the width
+        q = _BAR_WIDTH // 4
+        assert bar == "." * q + "R" * q + "W" * q + "F" * q
+
+    def test_zero_scale_degenerates_gracefully(self):
+        s = sysres("X", total=0.0)
+        assert _bar(s, scale=0.0) == ""
+
+    def test_component_chars_proportional(self):
+        s = sysres("X", total=100.0, rs=50.0)
+        bar = _bar(s, scale=100.0)
+        assert bar.count("R") == _BAR_WIDTH // 2
+        assert "W" not in bar and "F" not in bar
+
+
+class TestFormatFigure:
+    def make_study(self):
+        systems = [
+            sysres("z-mc", 100.0),
+            sysres("RCinv", 300.0, rs=100.0),
+        ]
+        return StudyResult(app_name="T", config=MachineConfig(nprocs=4), systems=systems)
+
+    def test_header_and_rows(self):
+        text = format_figure(self.make_study())
+        lines = text.splitlines()
+        assert lines[0].startswith("T execution-time breakdown")
+        assert any(line.startswith("z-mc") for line in lines)
+        assert any(line.startswith("RCinv") for line in lines)
+
+    def test_percentages_shown(self):
+        text = format_figure(self.make_study())
+        assert "33.33%" in text  # 100/300
+        assert "0.00%" in text
+
+    def test_bars_scaled_to_slowest(self):
+        text = format_figure(self.make_study())
+        bar_lines = [l for l in text.splitlines() if "|" in l]
+        z_bar = next(l for l in bar_lines if l.startswith("z-mc"))
+        inv_bar = next(l for l in bar_lines if l.startswith("RCinv"))
+        z_len = z_bar.split("|")[1]
+        inv_len = inv_bar.split("|")[1]
+        assert len(inv_len) == pytest.approx(3 * len(z_len), abs=2)

@@ -1,0 +1,93 @@
+"""End-to-end integration: the paper's pipeline at reduced scale.
+
+These tests run the complete methodology — all four applications on all
+five systems — and assert the paper's headline results hold:
+
+1. z-machine overhead ~0% everywhere (PRAM equivalence),
+2. the per-system overhead orderings and component signatures.
+"""
+
+import pytest
+
+from repro import MachineConfig, run_study
+from repro.analysis import standard_claims
+from repro.apps import BarnesHut, Cholesky, IntegerSort, Maxflow
+
+CFG = MachineConfig(nprocs=8)
+
+FACTORIES = {
+    "Cholesky": (lambda: Cholesky(grid=(6, 6)), False),
+    "IS": (lambda: IntegerSort(n_keys=512, nbuckets=32), False),
+    "Maxflow": (lambda: Maxflow(n=24, extra_edges=40, seed=1), True),
+    "Nbody": (lambda: BarnesHut(n_bodies=48, steps=4, boost_interval=2), True),
+}
+
+
+@pytest.fixture(scope="module", params=list(FACTORIES))
+def study(request):
+    factory, reuse = FACTORIES[request.param]
+    return run_study(factory, CFG), reuse
+
+
+class TestHeadlineResult:
+    def test_zmachine_overhead_near_zero(self, study):
+        st, _ = study
+        assert st.zmachine.overhead_pct < 1.0, (
+            f"{st.app_name}: z-machine overhead {st.zmachine.overhead_pct:.2f}%"
+        )
+
+    def test_zmachine_no_write_stall_or_flush(self, study):
+        st, _ = study
+        z = st.zmachine
+        assert z.write_stall == 0.0
+        assert z.buffer_flush == 0.0
+
+    def test_real_systems_slower_than_ideal(self, study):
+        st, _ = study
+        z = st.zmachine.total_time
+        for s in st.systems:
+            if s.system != "z-mc":
+                assert s.total_time > z
+
+    def test_every_system_has_overhead(self, study):
+        st, _ = study
+        for s in st.systems:
+            if s.system != "z-mc":
+                assert s.overhead > 0
+
+
+class TestComponentSignatures:
+    def test_rcinv_read_stall_dominant(self, study):
+        st, _ = study
+        s = st.by_system("RCinv")
+        assert s.read_stall >= s.write_stall
+        assert s.read_stall >= s.buffer_flush
+
+    def test_rcinv_read_stall_highest_of_all(self, study):
+        st, _ = study
+        rs_inv = st.by_system("RCinv").read_stall
+        for name in ("RCupd", "RCcomp"):
+            assert rs_inv >= st.by_system(name).read_stall * 0.9
+
+    def test_update_systems_flush_more(self, study):
+        st, _ = study
+        bf_inv = st.by_system("RCinv").buffer_flush
+        bf_upd = st.by_system("RCupd").buffer_flush
+        total = st.by_system("RCinv").total_time
+        assert bf_upd >= bf_inv - 0.02 * total
+
+    def test_reuse_gap(self, study):
+        st, reuse = study
+        rs_inv = st.by_system("RCinv").read_stall
+        rs_upd = st.by_system("RCupd").read_stall
+        if reuse:
+            assert rs_inv > 1.4 * rs_upd, (
+                f"{st.app_name}: expected reuse gap, got {rs_inv:.0f} vs {rs_upd:.0f}"
+            )
+
+
+class TestClaimChecker:
+    def test_all_standard_claims_pass(self, study):
+        st, reuse = study
+        failed = [c for c in standard_claims(st, expect_reuse=reuse) if not c.holds]
+        assert not failed, "\n".join(f"{c.claim}: {c.detail}" for c in failed)

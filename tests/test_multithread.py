@@ -1,0 +1,140 @@
+"""Multithreaded-processor latency tolerance (switch-on-miss)."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime import Barrier, ContextError, Machine, interleave
+from repro.sim.events import Compute
+
+
+def scan_machine(nprocs=4, contexts_per_proc=1, words_per_ctx=64, switch_cost=4.0):
+    """Each processor runs several scan contexts over disjoint slices."""
+    machine = Machine(MachineConfig(nprocs=nprocs), "RCinv")
+    total_words = nprocs * contexts_per_proc * words_per_ctx
+    data = machine.shm.array(total_words, "data", align_line=True)
+    data.poke_many([float(i % 13) for i in range(total_words)])
+    barrier = Barrier(machine.sync)
+    sums = {}
+
+    def make_context(pid, k):
+        def ctx_gen():
+            base = (pid * contexts_per_proc + k) * words_per_ctx
+            total = 0.0
+            for i in range(base, base + words_per_ctx):
+                total += yield from data.read(i)
+                yield Compute(3)
+            sums[(pid, k)] = total
+        return ctx_gen()
+
+    def worker(ctx):
+        bodies = [make_context(ctx.pid, k) for k in range(contexts_per_proc)]
+        yield from interleave(bodies, switch_cost=switch_cost)
+        yield from barrier.wait()
+
+    return machine, worker, data, sums, words_per_ctx, contexts_per_proc
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("contexts", [1, 2, 4])
+    def test_all_contexts_complete_with_correct_sums(self, contexts):
+        machine, worker, data, sums, wpc, cpp = scan_machine(contexts_per_proc=contexts)
+        machine.run(worker)
+        assert len(sums) == 4 * contexts
+        for (pid, k), total in sums.items():
+            base = (pid * cpp + k) * wpc
+            want = sum(data.peek(i) for i in range(base, base + wpc))
+            assert total == want
+
+    def test_empty_context_list_is_noop(self):
+        machine = Machine(MachineConfig(nprocs=1), "RCinv")
+
+        def worker(ctx):
+            yield from interleave([])
+            yield Compute(1)
+
+        res = machine.run(worker)
+        assert res.procs[0].busy == pytest.approx(1.0)
+
+    def test_sync_inside_context_rejected(self):
+        machine = Machine(MachineConfig(nprocs=1), "RCinv")
+        bar = Barrier(machine.sync, participants=1)
+
+        def bad_ctx():
+            yield from bar.wait()
+
+        def worker(ctx):
+            yield from interleave([bad_ctx()])
+
+        with pytest.raises(ContextError):
+            machine.run(worker)
+
+    def test_negative_switch_cost_rejected(self):
+        machine = Machine(MachineConfig(nprocs=1), "RCinv")
+
+        def ctx_gen():
+            yield Compute(1)
+
+        def worker(ctx):
+            yield from interleave([ctx_gen()], switch_cost=-1)
+
+        with pytest.raises(ValueError):
+            machine.run(worker)
+
+
+class TestLatencyTolerance:
+    def test_two_contexts_hide_read_stall(self):
+        """Switch-on-miss must cut read stall vs a single context."""
+        m1, w1, *_ = scan_machine(contexts_per_proc=1, words_per_ctx=128)
+        res1 = m1.run(w1)
+        m2, w2, *_ = scan_machine(contexts_per_proc=2, words_per_ctx=64)
+        res2 = m2.run(w2)
+        # same total work, second machine overlaps misses across contexts
+        assert res2.mean_read_stall < 0.8 * res1.mean_read_stall
+
+    def test_more_contexts_help_more(self):
+        stalls = {}
+        for contexts in (1, 2, 4):
+            m, w, *_ = scan_machine(
+                contexts_per_proc=contexts, words_per_ctx=128 // contexts
+            )
+            stalls[contexts] = m.run(w).mean_read_stall
+        # two contexts hide a large share; beyond that the gains saturate
+        # (extra contexts issue misses concurrently and add contention)
+        assert stalls[2] < stalls[1]
+        assert stalls[4] < stalls[1]
+        assert stalls[4] < stalls[2] * 1.25
+
+    def test_switch_cost_is_charged_as_busy(self):
+        m_free, w_free, *_ = scan_machine(contexts_per_proc=2, switch_cost=0.0)
+        res_free = m_free.run(w_free)
+        m_cost, w_cost, *_ = scan_machine(contexts_per_proc=2, switch_cost=50.0)
+        res_cost = m_cost.run(w_cost)
+        assert res_cost.mean_busy > res_free.mean_busy
+
+    def test_huge_switch_latency_threshold_disables_switching(self):
+        """With an enormous threshold no miss justifies a switch, so the
+        behaviour degrades to the single-context stall profile."""
+        m, w, *_ = scan_machine(contexts_per_proc=2, words_per_ctx=64)
+        res_on = m.run(w)
+
+        machine = Machine(MachineConfig(nprocs=4), "RCinv")
+        data = machine.shm.array(4 * 2 * 64, "data", align_line=True)
+        data.poke_many([0.0] * (4 * 2 * 64))
+        from repro.runtime.multithread import interleave as ilv
+
+        def make_ctx(pid, k):
+            def g():
+                base = (pid * 2 + k) * 64
+                for i in range(base, base + 64):
+                    yield from data.read(i)
+                    yield Compute(3)
+            return g()
+
+        def worker(ctx):
+            yield from ilv(
+                [make_ctx(ctx.pid, 0), make_ctx(ctx.pid, 1)],
+                min_switch_latency=1e9,
+            )
+
+        res_off = machine.run(worker)
+        assert res_off.mean_read_stall > res_on.mean_read_stall

@@ -1,0 +1,83 @@
+"""ReadNB / Stall engine operations and the feedback protocol."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime import Machine
+from repro.sim.events import Compute, ReadNB, Stall, STALL_CATEGORIES
+
+
+class TestReadNB:
+    def test_clock_advances_by_issue_cost_only(self):
+        machine = Machine(MachineConfig(nprocs=1), "RCinv")
+        arr = machine.shm.array(8, "a")
+        feedback = []
+
+        def worker(ctx):
+            fb = yield ReadNB(arr.addr(0))
+            feedback.append(fb)
+
+        res = machine.run(worker)
+        (now, access) = feedback[0]
+        assert now == pytest.approx(machine.config.cache_hit_cycles)
+        assert access.time > now  # data arrives later (it was a cold miss)
+        assert res.procs[0].read_stall == 0.0
+        assert res.procs[0].read_misses == 1
+
+    def test_hit_data_ready_immediately(self):
+        machine = Machine(MachineConfig(nprocs=1), "RCinv")
+        arr = machine.shm.array(8, "a")
+        feedback = []
+
+        def worker(ctx):
+            yield ReadNB(arr.addr(0))  # miss, warms the cache
+            yield Compute(100000)
+            fb = yield ReadNB(arr.addr(0))
+            feedback.append(fb)
+
+        machine.run(worker)
+        now, access = feedback[0]
+        assert access.hit
+        assert access.time <= now + machine.config.cache_hit_cycles
+
+    def test_feedback_after_ordinary_ops(self):
+        machine = Machine(MachineConfig(nprocs=1), "RCinv")
+        feedback = []
+
+        def worker(ctx):
+            fb = yield Compute(25)
+            feedback.append(fb)
+
+        machine.run(worker)
+        now, res = feedback[0]
+        assert now == pytest.approx(25.0)
+        assert res is None
+
+
+class TestStall:
+    @pytest.mark.parametrize("category,attr", [
+        ("read", "read_stall"),
+        ("write", "write_stall"),
+        ("flush", "buffer_flush"),
+        ("sync", "sync_wait"),
+    ])
+    def test_categories_charged(self, category, attr):
+        machine = Machine(MachineConfig(nprocs=1), "RCinv")
+
+        def worker(ctx):
+            yield Stall(42.0, category)
+
+        res = machine.run(worker)
+        assert getattr(res.procs[0], attr) == pytest.approx(42.0)
+        assert res.total_time == pytest.approx(42.0)
+
+    def test_invalid_category(self):
+        with pytest.raises(ValueError):
+            Stall(1.0, "banana")
+
+    def test_negative_cycles(self):
+        with pytest.raises(ValueError):
+            Stall(-1.0)
+
+    def test_categories_constant(self):
+        assert set(STALL_CATEGORIES) == {"read", "write", "flush", "sync"}

@@ -1,0 +1,58 @@
+"""Input presets: structure and paper-size parameters."""
+
+import pytest
+
+from repro.apps import default_scale, paper_scale, smoke_scale
+from repro.apps.base import run_on
+from repro.config import MachineConfig
+
+
+class TestPresetStructure:
+    @pytest.mark.parametrize("preset", [paper_scale, default_scale, smoke_scale])
+    def test_all_four_apps(self, preset):
+        p = preset()
+        assert set(p) == {"Cholesky", "IS", "Maxflow", "Nbody"}
+        for name, (factory, reuse) in p.items():
+            assert callable(factory)
+            assert isinstance(reuse, bool)
+
+    def test_reuse_flags_match_paper(self):
+        p = paper_scale()
+        assert p["Cholesky"][1] is False
+        assert p["IS"][1] is False
+        assert p["Maxflow"][1] is True
+        assert p["Nbody"][1] is True
+
+
+class TestPaperSizes:
+    def test_cholesky_matrix_size(self):
+        app = paper_scale()["Cholesky"][0]()
+        assert app.n == 33 * 33  # 1089, the paper's 1086-column analogue
+
+    def test_is_keys_and_buckets(self):
+        app = paper_scale()["IS"][0]()
+        assert app.n == 32768
+        assert app.nbuckets == 1024
+
+    def test_maxflow_graph(self):
+        app = paper_scale()["Maxflow"][0]()
+        assert app.net.n == 200
+        # 400 bidirectional edges + backbone, each contributing 2 arcs
+        assert app.net.num_arcs >= 2 * 400
+
+    def test_nbody_parameters(self):
+        app = paper_scale()["Nbody"][0]()
+        assert app.n == 128
+        assert app.steps == 50
+        assert app.boost_interval == 10
+
+
+class TestSmokeRuns:
+    @pytest.mark.parametrize("name", ["Cholesky", "IS", "Maxflow", "Nbody"])
+    def test_smoke_preset_runs_and_verifies(self, name):
+        factory, _ = smoke_scale()[name]
+        run_on(factory(), "RCinv", MachineConfig(nprocs=4))
+
+    def test_factories_are_fresh_instances(self):
+        factory, _ = smoke_scale()["IS"]
+        assert factory() is not factory()

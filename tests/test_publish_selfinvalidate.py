@@ -1,0 +1,89 @@
+"""Memory-system publish/self-invalidate hooks (decoupled data flow)."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.mem.cache import OWNED
+from repro.mem.systems import default_network
+from repro.mem.systems.rcinv import RCInv
+from repro.mem.systems.rcupd import RCUpd
+from repro.mem.systems.zmachine import ZMachine
+
+
+def make_upd(nprocs=4, **kw):
+    cfg = MachineConfig(nprocs=nprocs, **kw)
+    return RCUpd(cfg, default_network(cfg))
+
+
+class TestPublish:
+    def test_publish_flushes_only_matching_merge_lines(self):
+        m = make_upd()
+        m.write(0, 0, 0.0)    # block 0 in merge buffer
+        m.write(0, 64, 1.0)   # evicts block 0 -> transaction; block 2 open
+        before = m.write_transactions
+        m.publish(0, (5,), 2.0)  # unrelated block: nothing flushed
+        assert m.write_transactions == before
+        assert m.merge_buffers[0].has(2)
+        m.publish(0, (2,), 3.0)
+        assert m.write_transactions == before + 1
+        assert not m.merge_buffers[0].has(2)
+
+    def test_publish_reports_home_arrival(self):
+        m = make_upd()
+        m.write(0, 64, 0.0)
+        proceed, ready = m.publish(0, (2,), 1.0)
+        assert proceed >= 1.0
+        assert ready > 1.0  # data had to travel to its home
+        assert ready == m.directory.entry(2).avail_time
+
+    def test_publish_never_waits_for_sharer_acks(self):
+        m = make_upd()
+        for p in (1, 2, 3):
+            m.read(p, 64, 0.0)  # three sharers to fan out to
+        m.write(0, 64, 1000.0)
+        _, ready = m.publish(0, (2,), 1001.0)
+        # the fan-out acks finish later than the home arrival we wait for
+        assert m.fanout_done[0] > ready
+
+    def test_base_publish_is_noop(self):
+        cfg = MachineConfig(nprocs=4)
+        inv = RCInv(cfg, default_network(cfg))
+        inv.write(0, 64, 0.0)
+        proceed, ready = inv.publish(0, (2,), 5.0)
+        assert (proceed, ready) == (5.0, 5.0)
+
+    def test_zmachine_publish_reports_counter_deadline(self):
+        z = ZMachine(MachineConfig(nprocs=4))
+        z.write(0, 0, 100.0)
+        _, ready = z.publish(0, (0,), 101.0)
+        assert ready == pytest.approx(100.0 + z.latency)
+
+
+class TestSelfInvalidate:
+    def test_drops_cached_copy_and_presence(self):
+        m = make_upd()
+        m.read(1, 64, 0.0)
+        assert m.directory.entry(2).is_sharer(1)
+        m.self_invalidate(1, (2,), 10.0)
+        assert m.caches[1].peek(2) is None
+        assert not m.directory.entry(2).is_sharer(1)
+
+    def test_never_drops_own_dirty_line(self):
+        cfg = MachineConfig(nprocs=4)
+        inv = RCInv(cfg, default_network(cfg))
+        inv.write(0, 64, 0.0)  # proc 0 owns block 2 dirty
+        inv.self_invalidate(0, (2,), 10.0)
+        line = inv.caches[0].peek(2)
+        assert line is not None and line.state == OWNED
+        assert inv.directory.entry(2).owner == 0
+
+    def test_missing_block_is_noop(self):
+        m = make_upd()
+        m.self_invalidate(0, (99,), 0.0)  # nothing cached: no error
+
+    def test_refetch_after_self_invalidation(self):
+        m = make_upd()
+        m.read(1, 64, 0.0)
+        m.self_invalidate(1, (2,), 10.0)
+        res = m.read(1, 64, 1000.0)
+        assert not res.hit  # fresh fetch

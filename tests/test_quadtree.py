@@ -1,0 +1,96 @@
+"""Barnes-Hut quadtree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps.quadtree import accel_kernel, build_tree, force_reference, opens
+from repro.workloads.bodies import direct_forces, uniform_disc
+
+
+def tree_of(n=32, seed=0):
+    b = uniform_disc(n, seed=seed)
+    xs = [float(v) for v in b.pos[:, 0]]
+    ys = [float(v) for v in b.pos[:, 1]]
+    ms = [float(v) for v in b.mass]
+    return build_tree(xs, ys, ms), xs, ys, ms, b
+
+
+class TestBuild:
+    def test_mass_conserved_at_root(self):
+        tree, xs, ys, ms, _ = tree_of()
+        assert tree.mass[0] == pytest.approx(sum(ms))
+
+    def test_com_is_weighted_mean(self):
+        tree, xs, ys, ms, _ = tree_of()
+        total = sum(ms)
+        assert tree.comx[0] == pytest.approx(sum(m * x for m, x in zip(ms, xs)) / total)
+        assert tree.comy[0] == pytest.approx(sum(m * y for m, y in zip(ms, ys)) / total)
+
+    def test_every_body_in_exactly_one_leaf(self):
+        tree, *_ = tree_of(48)
+        bodies = [b for b in tree.body if b >= 0]
+        assert sorted(bodies) == list(range(48))
+
+    def test_children_within_parent_box(self):
+        tree, *_ = tree_of(64)
+        for nid in range(tree.nnodes):
+            for q in range(4):
+                c = tree.child[4 * nid + q]
+                if c != -1:
+                    assert abs(tree.cx[c] - tree.cx[nid]) <= tree.half[nid]
+                    assert abs(tree.cy[c] - tree.cy[nid]) <= tree.half[nid]
+                    assert tree.half[c] == pytest.approx(tree.half[nid] / 2)
+
+    def test_single_body_tree(self):
+        tree = build_tree([1.0], [2.0], [3.0])
+        assert tree.nnodes == 1
+        assert tree.body[0] == 0
+        assert tree.mass[0] == pytest.approx(3.0)
+
+    def test_coincident_bodies_aggregate(self):
+        tree = build_tree([0.5, 0.5, 1.0], [0.5, 0.5, 1.0], [1.0, 2.0, 4.0])
+        assert tree.mass[0] == pytest.approx(7.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_tree([], [], [])
+
+    def test_leaf_count_bounded(self):
+        tree, *_ = tree_of(128)
+        assert tree.nnodes < 16 * 128 + 64  # the app's capacity bound
+
+
+class TestForces:
+    def test_theta_zero_matches_direct_sum(self):
+        tree, xs, ys, ms, b = tree_of(24, seed=5)
+        want = direct_forces(b, eps=0.05)
+        for i in range(24):
+            ax, ay = force_reference(tree, i, xs, ys, theta=0.0, eps=0.05)
+            assert ax == pytest.approx(want[i, 0], rel=1e-9, abs=1e-12)
+            assert ay == pytest.approx(want[i, 1], rel=1e-9, abs=1e-12)
+
+    def test_larger_theta_approximates(self):
+        tree, xs, ys, ms, b = tree_of(64, seed=6)
+        want = direct_forces(b, eps=0.05)
+        got = np.array([force_reference(tree, i, xs, ys, 0.6, 0.05) for i in range(64)])
+        rel = np.abs(got - want) / (np.abs(want) + 1e-9)
+        assert np.median(rel) < 0.05  # a few % error for theta=0.6
+
+    def test_no_self_interaction(self):
+        tree = build_tree([0.0], [0.0], [5.0])
+        ax, ay = force_reference(tree, 0, [0.0], [0.0], 0.5, 0.05)
+        assert ax == 0.0 and ay == 0.0
+
+    def test_kernel_attracts(self):
+        fx, fy = accel_kernel(1.0, 0.0, 2.0, 0.0)
+        assert fx > 0 and fy == 0.0
+
+    def test_opens_monotone_in_distance(self):
+        assert opens(half=1.0, dx=0.5, dy=0.0, eps=0.0, theta=0.5)
+        assert not opens(half=1.0, dx=100.0, dy=0.0, eps=0.0, theta=0.5)
+
+    def test_deterministic(self):
+        tree, xs, ys, ms, _ = tree_of(32, seed=7)
+        a = force_reference(tree, 3, xs, ys, 0.5, 0.05)
+        b2 = force_reference(tree, 3, xs, ys, 0.5, 0.05)
+        assert a == b2

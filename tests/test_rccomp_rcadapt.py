@@ -1,0 +1,122 @@
+"""RCcomp (competitive update) and RCadapt (adaptive selective-write)."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.mem.directory import NORMAL, SPECIAL
+from repro.mem.systems import default_network
+from repro.mem.systems.rcadapt import RCAdapt
+from repro.mem.systems.rccomp import RCComp
+
+
+def make_comp(nprocs=4, threshold=2, **kw):
+    cfg = MachineConfig(nprocs=nprocs, competitive_threshold=threshold, **kw)
+    return RCComp(cfg, default_network(cfg)), cfg
+
+
+def make_adapt(nprocs=4, **kw):
+    cfg = MachineConfig(nprocs=nprocs, **kw)
+    return RCAdapt(cfg, default_network(cfg)), cfg
+
+
+def push_update(m, writer, addr, now):
+    """Issue a write and flush it so the update fans out."""
+    m.write(writer, addr, now)
+    m.release(writer, now + 1.0)
+
+
+class TestCompetitive:
+    def test_self_invalidation_after_threshold(self):
+        m, _ = make_comp(threshold=2)
+        m.read(1, 64, 0.0)  # proc 1 becomes a sharer
+        push_update(m, 0, 64, 1000.0)
+        assert m.self_invalidations == 0
+        push_update(m, 0, 64, 2000.0)  # second useless update
+        assert m.self_invalidations == 1
+        assert not m.directory.entry(2).is_sharer(1)
+
+    def test_read_resets_counter(self):
+        m, _ = make_comp(threshold=2)
+        m.read(1, 64, 0.0)
+        push_update(m, 0, 64, 1000.0)
+        m.read(1, 64, 5000.0)  # consumes the update: counter resets
+        push_update(m, 0, 64, 9000.0)
+        assert m.self_invalidations == 0
+
+    def test_invalidated_sharer_misses_then_rejoins(self):
+        m, _ = make_comp(threshold=1)
+        m.read(1, 64, 0.0)
+        push_update(m, 0, 64, 1000.0)  # threshold 1: immediate cut-off
+        res = m.read(1, 64, 50000.0)
+        assert not res.hit
+        assert m.directory.entry(2).is_sharer(1)
+
+    def test_no_invalidation_below_threshold(self):
+        m, _ = make_comp(threshold=64)
+        m.read(1, 64, 0.0)
+        for k in range(10):
+            push_update(m, 0, 64, 1000.0 * (k + 1))
+        assert m.self_invalidations == 0
+
+    def test_notify_message_charged(self):
+        m, _ = make_comp(threshold=1)
+        m.read(1, 64, 0.0)
+        before = m.network.stats.messages
+        push_update(m, 0, 64, 1000.0)
+        # update + ack + replacement hint
+        assert m.network.stats.messages - before >= 3
+
+
+class TestAdaptive:
+    def test_write_enters_special_state(self):
+        m, _ = make_adapt()
+        push_update(m, 0, 64, 0.0)
+        assert m.directory.entry(2).mode == SPECIAL
+
+    def test_established_sharers_get_updates(self):
+        m, _ = make_adapt()
+        m.read(1, 64, 0.0)
+        push_update(m, 0, 64, 1000.0)
+        res = m.read(1, 64, 50000.0)
+        assert res.hit  # update kept the copy warm
+
+    def test_new_reader_triggers_reinitialisation(self):
+        m, _ = make_adapt()
+        m.read(1, 64, 0.0)
+        push_update(m, 0, 64, 1000.0)  # block SPECIAL, sharers {0,1}
+        m.read(2, 64, 50000.0)  # new consumer: phase change
+        assert m.reinitialisations == 1
+        entry = m.directory.entry(2)
+        assert entry.mode == NORMAL
+        assert entry.is_sharer(2)
+        assert not entry.is_sharer(1)  # old active set invalidated
+
+    def test_reinit_invalidates_old_sharers_caches(self):
+        m, _ = make_adapt()
+        m.read(1, 64, 0.0)
+        push_update(m, 0, 64, 1000.0)
+        m.read(2, 64, 50000.0)
+        assert m.caches[1].lookup(2, 100000.0) is None
+
+    def test_sharer_rebuild_after_reinit(self):
+        m, _ = make_adapt()
+        m.read(1, 64, 0.0)
+        push_update(m, 0, 64, 1000.0)
+        m.read(2, 64, 50000.0)  # re-init
+        m.read(1, 64, 60000.0)  # old consumer rejoins (NORMAL mode: no re-init)
+        assert m.reinitialisations == 1
+        entry = m.directory.entry(2)
+        assert entry.is_sharer(1) and entry.is_sharer(2)
+
+    def test_miss_on_normal_block_no_reinit(self):
+        m, _ = make_adapt()
+        m.read(1, 64, 0.0)
+        m.read(2, 64, 100.0)
+        assert m.reinitialisations == 0
+
+    def test_writer_hit_does_not_reinit(self):
+        m, _ = make_adapt()
+        push_update(m, 0, 64, 0.0)
+        res = m.read(0, 64, 5000.0)  # writer reads its own line: hit
+        assert res.hit
+        assert m.reinitialisations == 0

@@ -1,0 +1,189 @@
+"""RCinv: write-invalidate protocol under release consistency."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.mem.cache import OWNED, SHARED
+from repro.mem.systems import default_network
+from repro.mem.systems.rcinv import RCInv
+
+
+def make(nprocs=4, **kw):
+    cfg = MachineConfig(nprocs=nprocs, **kw)
+    return RCInv(cfg, default_network(cfg)), cfg
+
+
+class TestReads:
+    def test_cold_miss_pays_fetch(self):
+        m, cfg = make()
+        res = m.read(0, 64, 0.0)
+        assert not res.hit
+        assert res.read_stall > 0
+        assert res.time > cfg.cache_hit_cycles
+
+    def test_second_read_hits(self):
+        m, cfg = make()
+        m.read(0, 64, 0.0)
+        res = m.read(0, 64, 1000.0)
+        assert res.hit
+        assert res.read_stall == 0.0
+
+    def test_same_line_hits(self):
+        m, _ = make()
+        m.read(0, 64, 0.0)
+        res = m.read(0, 68, 1000.0)  # same 32B line
+        assert res.hit
+
+    def test_miss_registers_sharer(self):
+        m, _ = make()
+        m.read(2, 64, 0.0)
+        assert m.directory.entry(64 // 32).is_sharer(2)
+
+    def test_read_forwards_from_store_buffer(self):
+        m, _ = make()
+        m.write(0, 64, 0.0)  # pending in store buffer
+        res = m.read(0, 64, 1.0)
+        assert res.hit
+
+
+class TestWrites:
+    def test_write_miss_buffered_not_stalled(self):
+        m, _ = make()
+        res = m.write(0, 64, 0.0)
+        assert res.write_stall == 0.0  # buffer has room
+
+    def test_write_grants_ownership(self):
+        m, _ = make()
+        m.write(0, 64, 0.0)
+        entry = m.directory.entry(2)
+        assert entry.owner == 0
+        line = m.caches[0].peek(2)
+        assert line is not None and line.state == OWNED
+
+    def test_owned_hit_completes_locally(self):
+        m, cfg = make()
+        m.write(0, 64, 0.0)
+        res = m.write(0, 64, 5000.0)
+        assert res.hit
+        assert res.time == pytest.approx(5000.0 + cfg.cache_hit_cycles)
+
+    def test_store_buffer_fills_and_stalls(self):
+        m, _ = make(store_buffer_entries=1)
+        m.write(0, 0, 0.0)
+        m.write(0, 32, 0.0)
+        res = m.write(0, 64, 0.0)
+        assert res.write_stall > 0
+
+    def test_write_invalidates_sharers(self):
+        m, _ = make()
+        m.read(1, 64, 0.0)  # proc 1 caches the line
+        m.write(0, 64, 1000.0)
+        # proc 1's copy must be gone once the invalidation arrives
+        assert m.caches[1].lookup(2, 5000.0) is None
+
+    def test_invalidated_sharer_misses_again(self):
+        m, _ = make()
+        m.read(1, 64, 0.0)
+        m.write(0, 64, 1000.0)
+        res = m.read(1, 64, 5000.0)
+        assert not res.hit
+
+    def test_sharer_hit_before_invalidation_arrival(self):
+        m, _ = make()
+        m.read(1, 64, 0.0)
+        m.write(0, 64, 1000.0)
+        res = m.read(1, 64, 1000.5)  # invalidation still in flight
+        assert res.hit
+
+    def test_coalesce_pending_ownership(self):
+        m, _ = make()
+        m.write(0, 64, 0.0)
+        res = m.write(0, 68, 0.5)  # same line, ownership pending
+        assert res.hit
+
+    def test_dirty_remote_fetch_goes_through_owner(self):
+        m, _ = make()
+        m.write(0, 64, 0.0)
+        m.release(0, 0.0)
+        before = m.network.stats.messages
+        res = m.read(1, 64, 10000.0)
+        assert not res.hit
+        # request -> home -> owner -> reply = at least 3 messages
+        assert m.network.stats.messages - before >= 3
+
+
+class TestRelease:
+    def test_release_drains_buffer(self):
+        m, _ = make()
+        m.write(0, 0, 0.0)
+        res = m.release(0, 1.0)
+        assert res.buffer_flush > 0
+
+    def test_release_when_empty_is_free(self):
+        m, _ = make()
+        res = m.release(0, 100.0)
+        assert res.buffer_flush == 0.0
+        assert res.time == 100.0
+
+    def test_release_waits_for_invalidation_acks(self):
+        m, _ = make()
+        for p in range(1, 4):
+            m.read(p, 64, 0.0)  # three sharers
+        m.write(0, 64, 1000.0)
+        res = m.release(0, 1001.0)
+        assert res.time >= m.fanout_done[0] or m.fanout_done[0] == 0.0
+        assert res.buffer_flush > 0
+
+    def test_fanout_reset_after_release(self):
+        m, _ = make()
+        m.read(1, 64, 0.0)
+        m.write(0, 64, 1000.0)
+        m.release(0, 1001.0)
+        assert m.fanout_done[0] == 0.0
+
+
+class TestPrefetch:
+    def test_prefetch_issues_extra_fetches(self):
+        m, _ = make(prefetch_depth=2)
+        m.read(0, 0, 0.0)
+        assert m.prefetches_issued == 2
+        assert m.caches[0].peek(1) is not None
+        assert m.caches[0].peek(2) is not None
+
+    def test_prefetched_line_partial_stall(self):
+        m, _ = make(prefetch_depth=1)
+        m.read(0, 0, 0.0)
+        line = m.caches[0].peek(1)
+        early = m.read(0, 32, line.ready_at - 5.0)
+        assert 0 < early.read_stall <= 5.0 + 1e-9
+
+    def test_prefetched_line_free_when_ready(self):
+        m, _ = make(prefetch_depth=1)
+        m.read(0, 0, 0.0)
+        line = m.caches[0].peek(1)
+        res = m.read(0, 32, line.ready_at + 10.0)
+        assert res.hit
+        assert res.read_stall == 0.0
+
+    def test_no_prefetch_by_default(self):
+        m, _ = make()
+        m.read(0, 0, 0.0)
+        assert m.prefetches_issued == 0
+
+
+class TestFiniteCache:
+    def test_eviction_and_refetch(self):
+        m, _ = make(cache_lines=2)
+        m.read(0, 0, 0.0)
+        m.read(0, 32, 100.0)
+        m.read(0, 64, 200.0)  # evicts line 0
+        assert m.caches[0].evictions == 1
+        res = m.read(0, 0, 300.0)
+        assert not res.hit  # capacity miss
+
+    def test_dirty_eviction_writes_back(self):
+        m, _ = make(cache_lines=1)
+        m.write(0, 0, 0.0)
+        m.read(0, 32, 100.0)  # evicts owned line 0
+        assert m.writebacks >= 1
+        assert m.directory.entry(0).owner is None

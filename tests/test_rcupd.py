@@ -1,0 +1,116 @@
+"""RCupd: write-update protocol with merge buffer."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.mem.systems import default_network
+from repro.mem.systems.rcupd import RCUpd
+
+
+def make(nprocs=4, **kw):
+    cfg = MachineConfig(nprocs=nprocs, **kw)
+    return RCUpd(cfg, default_network(cfg)), cfg
+
+
+class TestWrites:
+    def test_write_allocates_locally_without_fetch(self):
+        m, cfg = make()
+        res = m.write(0, 64, 0.0)
+        assert res.time == pytest.approx(cfg.cache_hit_cycles)
+        assert m.caches[0].peek(2) is not None
+        assert m.directory.entry(2).is_sharer(0)
+
+    def test_writes_to_same_line_merge(self):
+        m, _ = make()
+        m.write(0, 64, 0.0)
+        m.write(0, 68, 1.0)
+        m.write(0, 72, 2.0)
+        assert m.merge_buffers[0].has(2)
+        assert m.write_transactions == 0  # nothing sent yet
+
+    def test_line_switch_evicts_and_sends_update(self):
+        m, _ = make()
+        m.write(0, 64, 0.0)
+        m.write(0, 128, 1.0)  # different line: eviction
+        assert m.write_transactions == 1
+
+    def test_update_keeps_sharers_valid(self):
+        m, _ = make()
+        m.read(1, 64, 0.0)  # proc 1 caches the line
+        m.write(0, 64, 1000.0)
+        m.release(0, 1001.0)  # pushes the update out
+        res = m.read(1, 64, 5000.0)
+        assert res.hit  # still valid: update, not invalidate
+
+    def test_update_counts_messages_to_sharers(self):
+        m, _ = make()
+        for p in (1, 2, 3):
+            m.read(p, 64, 0.0)
+        m.write(0, 64, 1000.0)
+        m.release(0, 1001.0)
+        assert m.updates_sent == 3
+
+
+class TestReads:
+    def test_cold_miss_fetches_from_home(self):
+        m, _ = make()
+        res = m.read(0, 64, 0.0)
+        assert not res.hit
+        assert res.read_stall > 0
+
+    def test_merge_buffer_forwarding(self):
+        m, _ = make()
+        m.write(0, 64, 0.0)
+        res = m.read(0, 64, 0.5)
+        assert res.hit
+
+
+class TestRelease:
+    def test_release_flushes_merge_buffer(self):
+        m, _ = make()
+        m.write(0, 64, 0.0)
+        assert m.write_transactions == 0
+        res = m.release(0, 1.0)
+        assert m.write_transactions == 1
+        assert res.buffer_flush > 0
+
+    def test_release_waits_for_update_acks(self):
+        m, _ = make()
+        m.read(1, 64, 0.0)
+        m.read(2, 64, 0.0)
+        m.write(0, 64, 1000.0)
+        res = m.release(0, 1000.5)
+        # flush must cover the full fan-out completion
+        assert res.time > 1000.5
+        assert m.fanout_done[0] == 0.0  # reset afterwards
+
+    def test_release_empty_free(self):
+        m, _ = make()
+        res = m.release(0, 10.0)
+        assert res.buffer_flush == 0.0
+
+    def test_dirty_words_only_in_payload(self):
+        """A single-word update sends fewer bytes than a full line."""
+        m1, _ = make()
+        m1.read(1, 64, 0.0)
+        m1.write(0, 64, 1000.0)
+        m1.release(0, 1000.0)
+        single = m1.network.stats.bytes
+
+        m2, _ = make()
+        m2.read(1, 64, 0.0)
+        for w in range(8):
+            m2.write(0, 64 + 4 * w, 1000.0)
+        m2.release(0, 1000.0)
+        full = m2.network.stats.bytes
+        assert full > single
+
+
+class TestMergeCapacity:
+    def test_two_line_merge_buffer(self):
+        m, _ = make(merge_buffer_lines=2)
+        m.write(0, 0, 0.0)
+        m.write(0, 32, 1.0)  # second open line, no eviction
+        assert m.write_transactions == 0
+        m.write(0, 64, 2.0)  # evicts the oldest
+        assert m.write_transactions == 1

@@ -1,0 +1,82 @@
+"""SCinv baseline and the memory-system registry."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.mem.systems import (
+    PAPER_SYSTEMS,
+    SYSTEM_REGISTRY,
+    default_network,
+    make_system,
+)
+from repro.mem.systems.rcinv import RCInv
+from repro.mem.systems.sc import SCInv
+from repro.mem.systems.zmachine import ZMachine
+
+
+def make_sc(nprocs=4, **kw):
+    cfg = MachineConfig(nprocs=nprocs, **kw)
+    return SCInv(cfg, default_network(cfg)), cfg
+
+
+class TestSCInv:
+    def test_write_miss_stalls_synchronously(self):
+        m, _ = make_sc()
+        res = m.write(0, 64, 0.0)
+        assert res.write_stall > 0
+
+    def test_write_stall_includes_invalidation_acks(self):
+        """SC writes wait for everything; RC writes retire at the grant."""
+        sc, cfg = make_sc()
+        for p in (1, 2, 3):
+            sc.read(p, 64, 0.0)
+        sc_res = sc.write(0, 64, 1000.0)
+
+        rc = RCInv(cfg, default_network(cfg))
+        for p in (1, 2, 3):
+            rc.read(p, 64, 0.0)
+        rc_res = rc.write(0, 64, 1000.0)
+        assert sc_res.time > rc_res.time
+
+    def test_owned_hit_is_cheap(self):
+        m, cfg = make_sc()
+        m.write(0, 64, 0.0)
+        res = m.write(0, 64, 9000.0)
+        assert res.hit
+        assert res.write_stall == 0.0
+
+    def test_release_is_free(self):
+        m, _ = make_sc()
+        m.write(0, 64, 0.0)
+        res = m.release(0, 5000.0)
+        assert res.buffer_flush == 0.0
+        assert res.time == 5000.0
+
+    def test_read_miss_stalls(self):
+        m, _ = make_sc()
+        res = m.read(0, 64, 0.0)
+        assert res.read_stall > 0
+
+
+class TestRegistry:
+    def test_paper_systems_order(self):
+        assert PAPER_SYSTEMS == ("z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp")
+
+    def test_all_registered_systems_constructible(self):
+        cfg = MachineConfig(nprocs=4)
+        for name in SYSTEM_REGISTRY:
+            sys = make_system(name, cfg)
+            assert sys.name == name
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError, match="unknown memory system"):
+            make_system("MOESI", MachineConfig(nprocs=4))
+
+    def test_zmachine_gets_ideal_network(self):
+        z = make_system("z-mc", MachineConfig(nprocs=4))
+        assert isinstance(z, ZMachine)
+
+    def test_default_network_matches_mesh_dims(self):
+        cfg = MachineConfig(nprocs=8)
+        net = default_network(cfg)
+        assert net.topology.nnodes == 8

@@ -1,0 +1,227 @@
+"""Locks and barriers: semantics and timing."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime import Barrier, Lock, Machine
+from repro.sim.events import Compute
+
+
+def run(machine, worker):
+    return machine.run(worker)
+
+
+class TestLock:
+    def test_mutual_exclusion(self):
+        machine = Machine(MachineConfig(nprocs=4), "RCinv")
+        lock = Lock(machine.sync)
+        trace = []
+
+        def worker(ctx):
+            for _ in range(3):
+                yield from lock.acquire()
+                trace.append(("in", ctx.pid))
+                yield Compute(20)
+                trace.append(("out", ctx.pid))
+                yield from lock.release()
+
+        run(machine, worker)
+        # trace must alternate in/out with matching pids (never nested)
+        depth = 0
+        current = None
+        for kind, pid in trace:
+            if kind == "in":
+                assert depth == 0
+                depth, current = 1, pid
+            else:
+                assert depth == 1 and pid == current
+                depth = 0
+
+    def test_uncontended_cost_is_round_trip(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        lock = Lock(machine.sync)
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                yield from lock.acquire()
+                yield from lock.release()
+
+        res = run(machine, worker)
+        assert res.procs[0].sync_wait > 0  # grant round trip
+        assert res.procs[0].sync_wait < 200
+
+    def test_contended_waiter_charged_sync_wait(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        lock = Lock(machine.sync)
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                yield from lock.acquire()
+                yield Compute(1000)
+                yield from lock.release()
+            else:
+                yield Compute(10)  # arrive while pid 0 holds the lock
+                yield from lock.acquire()
+                yield from lock.release()
+
+        res = run(machine, worker)
+        assert res.procs[1].sync_wait > 900
+
+    def test_fifo_grant_order(self):
+        machine = Machine(MachineConfig(nprocs=4), "RCinv")
+        lock = Lock(machine.sync)
+        order = []
+
+        def worker(ctx):
+            yield Compute(ctx.pid * 10 + 1)  # stagger arrivals 1,11,21,31
+            yield from lock.acquire()
+            order.append(ctx.pid)
+            yield Compute(500)
+            yield from lock.release()
+
+        run(machine, worker)
+        assert order == [0, 1, 2, 3]
+
+    def test_release_by_non_holder_raises(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        lock = Lock(machine.sync)
+
+        def worker(ctx):
+            if ctx.pid == 1:
+                yield from lock.release()
+            else:
+                yield Compute(1)
+
+        with pytest.raises(RuntimeError):
+            run(machine, worker)
+
+    def test_stats_counted(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        lock = Lock(machine.sync)
+
+        def worker(ctx):
+            yield Compute(ctx.pid)
+            yield from lock.acquire()
+            yield Compute(100)
+            yield from lock.release()
+
+        run(machine, worker)
+        assert machine.sync.lock_acquires == 2
+        assert machine.sync.lock_contended == 1
+
+    def test_many_locks_have_distinct_homes(self):
+        machine = Machine(MachineConfig(nprocs=4), "RCinv")
+        locks = [Lock(machine.sync) for _ in range(8)]
+        homes = {machine.sync._locks[lk.lock_id].home for lk in locks}
+        assert homes == {0, 1, 2, 3}
+
+
+class TestBarrier:
+    def test_all_wait_for_last(self):
+        machine = Machine(MachineConfig(nprocs=4), "RCinv")
+        bar = Barrier(machine.sync)
+        after = []
+
+        def worker(ctx):
+            yield Compute(100 * (ctx.pid + 1))
+            yield from bar.wait()
+            after.append(ctx.pid)
+
+        res = run(machine, worker)
+        # everyone departs after the slowest arriver; departures stagger
+        # only by the serialised release multicast (~tens of cycles)
+        finishes = [p.finish_time for p in res.procs]
+        assert max(finishes) - min(finishes) < 200
+        assert min(finishes) >= 400
+
+    def test_fast_arrivals_accumulate_sync_wait(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        bar = Barrier(machine.sync)
+
+        def worker(ctx):
+            yield Compute(10 if ctx.pid == 0 else 2000)
+            yield from bar.wait()
+
+        res = run(machine, worker)
+        assert res.procs[0].sync_wait > 1800
+        assert res.procs[1].sync_wait < 200
+
+    def test_reusable_across_episodes(self):
+        machine = Machine(MachineConfig(nprocs=4), "RCinv")
+        bar = Barrier(machine.sync)
+        counter = []
+
+        def worker(ctx):
+            for i in range(5):
+                yield Compute((ctx.pid + 1) * (i + 1))
+                yield from bar.wait()
+                if ctx.pid == 0:
+                    counter.append(i)
+
+        run(machine, worker)
+        assert counter == [0, 1, 2, 3, 4]
+        assert machine.sync.barrier_episodes == 5
+
+    def test_subset_barrier(self):
+        machine = Machine(MachineConfig(nprocs=4), "RCinv")
+        bar = Barrier(machine.sync, participants=2)
+
+        def worker(ctx):
+            if ctx.pid < 2:
+                yield from bar.wait()
+            else:
+                yield Compute(1)
+
+        run(machine, worker)  # must not deadlock
+
+    def test_invalid_participants(self):
+        machine = Machine(MachineConfig(nprocs=4), "RCinv")
+        with pytest.raises(ValueError):
+            Barrier(machine.sync, participants=0)
+
+    def test_barrier_counts_stat(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        bar = Barrier(machine.sync)
+
+        def worker(ctx):
+            yield from bar.wait()
+
+        res = run(machine, worker)
+        assert all(p.barriers == 1 for p in res.procs)
+
+
+class TestRCCoupling:
+    def test_release_flushes_store_buffer(self):
+        """A lock release must drain pending writes (buffer flush > 0)."""
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        lock = Lock(machine.sync)
+        arr = machine.shm.array(64, "a", align_line=True)
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                yield from lock.acquire()
+                for i in range(0, 64, 8):
+                    yield from arr.write(i, 1.0)
+                yield from lock.release()
+            else:
+                yield Compute(1)
+
+        res = run(machine, worker)
+        assert res.procs[0].buffer_flush > 0
+
+    def test_zmachine_release_free(self):
+        machine = Machine(MachineConfig(nprocs=2), "z-mc")
+        lock = Lock(machine.sync)
+        arr = machine.shm.array(64, "a")
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                yield from lock.acquire()
+                for i in range(0, 64, 8):
+                    yield from arr.write(i, 1.0)
+                yield from lock.release()
+            else:
+                yield Compute(1)
+
+        res = run(machine, worker)
+        assert res.procs[0].buffer_flush == 0.0

@@ -1,0 +1,112 @@
+"""Access tracing facility."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime import Lock, Machine
+from repro.sim.trace import TracingMemory
+from repro.sim.events import Compute
+
+
+def run_traced(system="RCinv", max_events=100_000):
+    machine = Machine(MachineConfig(nprocs=2), system)
+    arr = machine.shm.array(16, "a", align_line=True)
+    lock = Lock(machine.sync)
+    tracer = TracingMemory.attach(machine, max_events=max_events)
+
+    def worker(ctx):
+        if ctx.pid == 0:
+            for i in range(16):
+                yield from arr.write(i, i)
+            yield from lock.acquire()
+            yield from lock.release()
+        else:
+            yield Compute(50000)
+            for i in range(16):
+                yield from arr.read(i)
+
+    result = machine.run(worker)
+    return machine, tracer, result
+
+
+class TestTracing:
+    def test_events_recorded_with_kinds(self):
+        _, tracer, _ = run_traced()
+        kinds = {e.kind for e in tracer.events}
+        assert {"read", "write", "release"} <= kinds
+
+    def test_counts_match_engine_stats(self):
+        _, tracer, result = run_traced()
+        reads = [e for e in tracer.events if e.kind == "read"]
+        writes = [e for e in tracer.events if e.kind == "write"]
+        assert len(reads) == result.total_reads
+        assert len(writes) == result.total_writes
+
+    def test_latency_nonnegative_and_consistent(self):
+        _, tracer, _ = run_traced()
+        for e in tracer.events:
+            assert e.latency >= 0
+            assert e.complete >= e.issue
+
+    def test_stall_totals_match_proc_stats(self):
+        _, tracer, result = run_traced()
+        traced = sum(e.read_stall for e in tracer.events)
+        from_stats = sum(p.read_stall for p in result.procs)
+        assert traced == pytest.approx(from_stats)
+
+    def test_hottest_blocks_identify_shared_lines(self):
+        _, tracer, _ = run_traced()
+        hot = tracer.hottest_blocks(3)
+        assert hot  # consumer misses stall on the written lines
+        assert all(stall > 0 for _, stall in hot)
+
+    def test_busiest_blocks(self):
+        _, tracer, _ = run_traced()
+        busy = tracer.busiest_blocks(2)
+        assert busy[0][1] >= busy[-1][1]
+
+    def test_events_for_proc(self):
+        _, tracer, _ = run_traced()
+        for e in tracer.events_for_proc(1):
+            assert e.proc == 1
+
+    def test_summary(self):
+        _, tracer, _ = run_traced()
+        s = tracer.summary()
+        assert s["recorded"] == s["events"]
+        assert 0 <= s["read_miss_rate"] <= 1
+        assert s["total_stall"] > 0
+
+    def test_bounded_events(self):
+        _, tracer, _ = run_traced(max_events=5)
+        assert len(tracer.events) == 5
+        assert tracer.dropped > 0
+        assert tracer.summary()["events"] == 5 + tracer.dropped
+
+    def test_delegates_inner_attributes(self):
+        machine, tracer, _ = run_traced()
+        assert tracer.inner is machine.memsys
+        assert tracer.traffic_summary() == machine.memsys.traffic_summary()
+        assert tracer.line_size == 32
+
+    def test_invalid_max_events(self):
+        with pytest.raises(ValueError):
+            TracingMemory(inner=None, max_events=0)
+
+    def test_results_unchanged_by_tracing(self):
+        """Tracing must be observationally transparent."""
+        def run(traced):
+            machine = Machine(MachineConfig(nprocs=2), "RCupd")
+            arr = machine.shm.array(8, "a")
+            if traced:
+                TracingMemory.attach(machine)
+
+            def worker(ctx):
+                yield from arr.write(ctx.pid, ctx.pid)
+                yield Compute(1000)
+                v = yield from arr.read(1 - ctx.pid)
+                yield Compute(v + 1)
+
+            return machine.run(worker).total_time
+
+        assert run(False) == run(True)

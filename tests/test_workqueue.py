@@ -1,0 +1,149 @@
+"""Central work queue and task pool."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime import CentralQueue, Machine, TaskPool
+from repro.sim.events import Compute
+
+
+def machine(nprocs=4, system="RCinv"):
+    return Machine(MachineConfig(nprocs=nprocs), system)
+
+
+class TestCentralQueue:
+    def test_fifo_single_producer(self):
+        m = machine(2)
+        q = CentralQueue(m.shm, m.sync, capacity=16)
+        got = []
+
+        def worker(ctx):
+            if ctx.pid == 0:
+                for t in (5, 7, 9):
+                    yield from q.put(t)
+            else:
+                yield from ctx.compute(50000)
+                for _ in range(3):
+                    got.append((yield from q.get()))
+                got.append((yield from q.get()))
+
+        m.run(worker)
+        assert got == [5, 7, 9, None]
+
+    def test_empty_get_returns_none(self):
+        m = machine(1)
+        q = CentralQueue(m.shm, m.sync, capacity=4)
+        got = []
+
+        def worker(ctx):
+            got.append((yield from q.get()))
+
+        m.run(worker)
+        assert got == [None]
+
+    def test_overflow_raises(self):
+        m = machine(1)
+        q = CentralQueue(m.shm, m.sync, capacity=2)
+
+        def worker(ctx):
+            yield from q.put(1)
+            yield from q.put(2)
+            yield from q.put(3)
+
+        with pytest.raises(OverflowError):
+            m.run(worker)
+
+    def test_wraparound(self):
+        m = machine(1)
+        q = CentralQueue(m.shm, m.sync, capacity=2)
+        got = []
+
+        def worker(ctx):
+            for t in range(6):
+                yield from q.put(t)
+                got.append((yield from q.get()))
+
+        m.run(worker)
+        assert got == list(range(6))
+
+    def test_capacity_validation(self):
+        m = machine(1)
+        with pytest.raises(ValueError):
+            CentralQueue(m.shm, m.sync, capacity=0)
+
+    def test_concurrent_producers_consumers_conserve_items(self):
+        m = machine(4)
+        q = CentralQueue(m.shm, m.sync, capacity=64)
+        consumed = []
+
+        def worker(ctx):
+            if ctx.pid < 2:
+                for i in range(8):
+                    yield from q.put(ctx.pid * 100 + i)
+            else:
+                for _ in range(20):
+                    t = yield from q.get()
+                    if t is not None:
+                        consumed.append(t)
+                    yield Compute(100)
+
+        m.run(worker)
+        assert len(consumed) == len(set(consumed)) <= 16
+
+
+class TestTaskPool:
+    def test_seed_and_drain(self):
+        m = machine(2)
+        pool = TaskPool(m.shm, m.sync, capacity=8)
+        pool.seed([1, 2, 3])
+        done = []
+
+        def worker(ctx):
+            while True:
+                t = yield from pool.get_task()
+                if t is None:
+                    break
+                done.append(t)
+                yield Compute(10)
+                yield from pool.task_done()
+
+        m.run(worker)
+        assert sorted(done) == [1, 2, 3]
+
+    def test_dynamic_task_creation(self):
+        """Tasks spawning tasks: all must be executed exactly once."""
+        m = machine(4)
+        pool = TaskPool(m.shm, m.sync, capacity=64)
+        pool.seed([1])
+        done = []
+
+        def worker(ctx):
+            while True:
+                t = yield from pool.get_task()
+                if t is None:
+                    break
+                done.append(t)
+                if t < 16:
+                    yield from pool.add_task(2 * t)
+                    yield from pool.add_task(2 * t + 1)
+                yield from pool.task_done()
+
+        m.run(worker)
+        assert sorted(done) == list(range(1, 32))
+
+    def test_workers_terminate_when_empty(self):
+        m = machine(4)
+        pool = TaskPool(m.shm, m.sync, capacity=8)
+        # no seed: all workers must exit immediately
+
+        def worker(ctx):
+            t = yield from pool.get_task()
+            assert t is None
+
+        m.run(worker)
+
+    def test_seed_overflow_checked(self):
+        m = machine(1)
+        pool = TaskPool(m.shm, m.sync, capacity=2)
+        with pytest.raises(OverflowError):
+            pool.seed([1, 2, 3])
