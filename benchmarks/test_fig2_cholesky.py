@@ -6,15 +6,14 @@ stall similar between RCinv and RCupd (little reuse; queue-driven
 dynamic pattern).
 """
 
-from conftest import PAPER_APPS, PAPER_CFG, run_once
+from conftest import PAPER_APPS, paper_study, run_once
 
-from repro import run_study
 from repro.analysis import format_figure
 
 
 def test_fig2_cholesky(benchmark):
     factory, _ = PAPER_APPS["Cholesky"]
-    study = run_once(benchmark, lambda: run_study(factory, PAPER_CFG))
+    study = run_once(benchmark, lambda: paper_study(factory))
     print()
     print(format_figure(study, "Figure 2: Cholesky (paper-scale matrix)"))
 

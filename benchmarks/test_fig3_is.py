@@ -5,15 +5,14 @@ Paper: 32K keys / 1K buckets; large overheads on every real system
 (cold misses dominate — no reuse), z-machine ~0%.
 """
 
-from conftest import PAPER_APPS, PAPER_CFG, run_once
+from conftest import PAPER_APPS, paper_study, run_once
 
-from repro import run_study
 from repro.analysis import format_figure
 
 
 def test_fig3_is(benchmark):
     factory, _ = PAPER_APPS["IS"]
-    study = run_once(benchmark, lambda: run_study(factory, PAPER_CFG))
+    study = run_once(benchmark, lambda: paper_study(factory))
     print()
     print(format_figure(study, "Figure 3: IS (32K keys, 1K buckets)"))
 

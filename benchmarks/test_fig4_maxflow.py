@@ -6,15 +6,14 @@ penalties here; RCcomp/RCadapt read stall sits between RCupd's and
 RCinv's because the pattern defeats the established-sharer heuristics.
 """
 
-from conftest import PAPER_APPS, PAPER_CFG, run_once
+from conftest import PAPER_APPS, paper_study, run_once
 
-from repro import run_study
 from repro.analysis import format_figure
 
 
 def test_fig4_maxflow(benchmark):
     factory, _ = PAPER_APPS["Maxflow"]
-    study = run_once(benchmark, lambda: run_study(factory, PAPER_CFG))
+    study = run_once(benchmark, lambda: paper_study(factory))
     print()
     print(format_figure(study, "Figure 4: Maxflow (200 vertices, 400 edges)"))
 

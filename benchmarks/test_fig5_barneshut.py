@@ -9,15 +9,14 @@ step than the paper's implementation, which inflates the update
 systems' flush component).
 """
 
-from conftest import PAPER_APPS, PAPER_CFG, run_once
+from conftest import PAPER_APPS, paper_study, run_once
 
-from repro import run_study
 from repro.analysis import format_figure
 
 
 def test_fig5_barneshut(benchmark):
     factory, _ = PAPER_APPS["Nbody"]
-    study = run_once(benchmark, lambda: run_study(factory, PAPER_CFG))
+    study = run_once(benchmark, lambda: paper_study(factory))
     print()
     print(format_figure(study, "Figure 5: Barnes-Hut (128 bodies, 50 steps)"))
 

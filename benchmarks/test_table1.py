@@ -6,15 +6,14 @@ cost ≈ 0 cycles — the basis of the claim that z-machine performance
 matches a PRAM.
 """
 
-from conftest import PAPER_APPS, PAPER_CFG, run_once
+from conftest import PAPER_APPS, paper_table1, run_once
 
-from repro import table1
 from repro.analysis import format_table1
 
 
 def test_table1(benchmark):
     factories = {name: f for name, (f, _) in PAPER_APPS.items()}
-    rows = run_once(benchmark, lambda: table1(factories, PAPER_CFG))
+    rows = run_once(benchmark, lambda: paper_table1(factories))
     print()
     print(format_table1(rows))
 

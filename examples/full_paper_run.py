@@ -7,13 +7,18 @@ qualitative claims.  Scaled-down inputs by default; pass ``--paper``
 for paper-scale inputs (much slower: execution-driven simulation in
 Python).
 
-Usage:  python examples/full_paper_run.py [--paper]
+Independent runs go through the parallel/caching layer
+(docs/performance.md): ``--jobs N`` fans each study out over N worker
+processes (0 = one per CPU) and repeated invocations reuse the on-disk
+result cache unless ``--no-cache`` is given.
+
+Usage:  python examples/full_paper_run.py [--paper] [--jobs N] [--no-cache]
 """
 
 import sys
 import time
 
-from repro import MachineConfig, run_study, table1_row
+from repro import MachineConfig, ResultCache, run_study, table1_row
 from repro.analysis import format_claims, format_figure, format_table1, standard_claims
 from repro.apps import default_scale, paper_scale
 
@@ -24,12 +29,14 @@ def factories(paper: bool):
 
 def main() -> None:
     paper = "--paper" in sys.argv
+    jobs = int(sys.argv[sys.argv.index("--jobs") + 1]) if "--jobs" in sys.argv else 1
+    cache = None if "--no-cache" in sys.argv else ResultCache.default()
     cfg = MachineConfig(nprocs=16)
     figure_no = {"Cholesky": 2, "IS": 3, "Maxflow": 4, "Nbody": 5}
     rows = []
     for name, (factory, reuse) in factories(paper).items():
         t0 = time.time()
-        study = run_study(factory, cfg)
+        study = run_study(factory, cfg, jobs=jobs, cache=cache)
         print(format_figure(study, f"{name} — cf. paper Figure {figure_no[name]}"))
         print()
         print(format_claims(standard_claims(study, expect_reuse=reuse)))

@@ -26,18 +26,31 @@ Quickstart::
 """
 
 from .config import DEFAULT_CONFIG, MachineConfig
-from .core import StudyResult, SystemResult, figure1_scenario, run_study, table1, table1_row
+from .core import (
+    JobSpec,
+    ResultCache,
+    StudyResult,
+    SystemResult,
+    figure1_scenario,
+    run_jobs,
+    run_study,
+    table1,
+    table1_row,
+)
 from .runtime import Machine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_CONFIG",
+    "JobSpec",
     "Machine",
     "MachineConfig",
+    "ResultCache",
     "StudyResult",
     "SystemResult",
     "figure1_scenario",
+    "run_jobs",
     "run_study",
     "table1",
     "table1_row",

@@ -7,7 +7,15 @@ study    run one application (or all) across memory systems and print
 table1   run the four applications on the z-machine and print Table 1
 fig1     print the Figure 1 inherent-cost-vs-overhead scenario
 claims   evaluate the paper's qualitative claims on fresh runs
+bench    time serial vs parallel vs cached execution of the full study
+         set and write a BENCH_parallel.json perf baseline
 systems  list available memory systems and applications
+cache    show or clear the on-disk result cache
+
+``study``, ``table1``, ``fig1`` and ``claims`` accept ``--jobs N`` to
+fan independent runs out over N worker processes (0 = one per CPU) and
+``--no-cache`` to bypass the on-disk result cache; see
+docs/performance.md.
 """
 
 from __future__ import annotations
@@ -18,20 +26,21 @@ import sys
 from . import MachineConfig, figure1_scenario, run_study, table1
 from .analysis import format_claims, format_figure, format_table1, standard_claims
 from .analysis.report import studies_to_csv, studies_to_json, table1_to_csv
-from .apps import BarnesHut, Cholesky, IntegerSort, Maxflow
+from .apps import SCALES, default_scale
+from .core.bench import BENCH_FILE, format_bench, run_bench
+from .core.parallel import ResultCache, parallel_map
 from .mem.systems import PAPER_SYSTEMS, SYSTEM_REGISTRY
 
-#: factory + reuse expectation per application, at moderate default scale
-APP_FACTORIES = {
-    "Cholesky": (lambda: Cholesky(grid=(10, 10)), False),
-    "IS": (lambda: IntegerSort(n_keys=2048, nbuckets=128), False),
-    "Maxflow": (lambda: Maxflow(n=48, extra_edges=96, seed=0), True),
-    "Nbody": (lambda: BarnesHut(n_bodies=128, steps=10, boost_interval=5), True),
-}
+#: factory + reuse expectation per application, at moderate default scale.
+APP_FACTORIES = default_scale()
 
 
 def _config(args: argparse.Namespace) -> MachineConfig:
     return MachineConfig(nprocs=args.nprocs)
+
+
+def _cache(args: argparse.Namespace) -> ResultCache | None:
+    return None if args.no_cache else ResultCache.default()
 
 
 def _selected_apps(name: str) -> dict:
@@ -51,9 +60,10 @@ def cmd_study(args: argparse.Namespace) -> int:
     for s in systems:
         if s not in SYSTEM_REGISTRY:
             raise SystemExit(f"unknown memory system {s!r}")
+    cache = _cache(args)
     studies = []
     for name, (factory, _) in _selected_apps(args.app).items():
-        studies.append(run_study(factory, cfg, systems=systems))
+        studies.append(run_study(factory, cfg, systems=systems, jobs=args.jobs, cache=cache))
     if args.format == "csv":
         print(studies_to_csv(studies), end="")
     elif args.format == "json":
@@ -68,7 +78,7 @@ def cmd_study(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     cfg = _config(args)
     factories = {k: f for k, (f, _) in _selected_apps(args.app).items()}
-    rows = table1(factories, cfg)
+    rows = table1(factories, cfg, jobs=args.jobs, cache=_cache(args))
     if args.format == "csv":
         print(table1_to_csv(rows), end="")
     else:
@@ -76,11 +86,20 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Systems shown by ``fig1``, in display order.
+FIG1_SYSTEMS = ("z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv")
+
+
+def _fig1_one(arg: tuple[str, MachineConfig]):
+    system, cfg = arg
+    return figure1_scenario(system, cfg)
+
+
 def cmd_fig1(args: argparse.Namespace) -> int:
     cfg = _config(args)
     print(f"{'system':8s} {'early stall':>12s} {'class':>10s} {'late stall':>12s} {'class':>10s}")
-    for system in ("z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv"):
-        t = figure1_scenario(system, cfg)
+    timelines = parallel_map(_fig1_one, [(s, cfg) for s in FIG1_SYSTEMS], jobs=args.jobs)
+    for t in timelines:
         print(
             f"{t.system:8s} {t.early_read.stall:12.1f} {t.early_kind:>10s} "
             f"{t.late_read.stall:12.1f} {t.late_kind:>10s}"
@@ -90,9 +109,10 @@ def cmd_fig1(args: argparse.Namespace) -> int:
 
 def cmd_claims(args: argparse.Namespace) -> int:
     cfg = _config(args)
+    cache = _cache(args)
     all_hold = True
     for name, (factory, reuse) in _selected_apps(args.app).items():
-        study = run_study(factory, cfg)
+        study = run_study(factory, cfg, jobs=args.jobs, cache=cache)
         checks = standard_claims(study, expect_reuse=reuse)
         print(f"== {name}")
         print(format_claims(checks))
@@ -100,10 +120,50 @@ def cmd_claims(args: argparse.Namespace) -> int:
     return 0 if all_hold else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    doc = run_bench(scale=args.scale, jobs=args.jobs or None, out=args.out)
+    print(format_bench(doc))
+    print(f"trajectory written to {args.out}")
+    return 0
+
+
 def cmd_systems(args: argparse.Namespace) -> int:
     print("memory systems:", ", ".join(sorted(SYSTEM_REGISTRY)))
     print("applications:  ", ", ".join(APP_FACTORIES))
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache.default()
+    if args.clear:
+        print(f"removed {cache.clear()} cached result(s) from {cache.directory}")
+        return 0
+    entries = list(cache.directory.glob("*.pkl")) if cache.directory.is_dir() else []
+    size = sum(p.stat().st_size for p in entries)
+    print(f"cache directory: {cache.directory}")
+    print(f"entries: {len(entries)} ({size / 1024:.1f} KiB)")
+    return 0
+
+
+def _jobs_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 0, got {value}")
+    return value
+
+
+def _add_parallel_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs",
+        type=_jobs_count,
+        default=1,
+        help="worker processes for independent runs (0 = one per CPU, default 1)",
+    )
+    sub.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,22 +179,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument("--app", default="all", help="application name or 'all'")
     p_study.add_argument("--systems", nargs="*", help="memory systems (default: paper's five)")
     p_study.add_argument("--format", choices=("text", "csv", "json"), default="text")
+    _add_parallel_flags(p_study)
     p_study.set_defaults(func=cmd_study)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 (z-machine)")
     p_t1.add_argument("--app", default="all")
     p_t1.add_argument("--format", choices=("text", "csv"), default="text")
+    _add_parallel_flags(p_t1)
     p_t1.set_defaults(func=cmd_table1)
 
     p_f1 = sub.add_parser("fig1", help="Figure 1 scenario across systems")
+    _add_parallel_flags(p_f1)
     p_f1.set_defaults(func=cmd_fig1)
 
     p_claims = sub.add_parser("claims", help="evaluate the paper's qualitative claims")
     p_claims.add_argument("--app", default="all")
+    _add_parallel_flags(p_claims)
     p_claims.set_defaults(func=cmd_claims)
+
+    p_bench = sub.add_parser(
+        "bench", help="serial vs parallel vs cached timing of the full study set"
+    )
+    p_bench.add_argument("--scale", choices=SCALES, default="default")
+    p_bench.add_argument(
+        "--jobs", type=_jobs_count, default=0, help="worker processes (0 = one per CPU, default)"
+    )
+    p_bench.add_argument("--out", default=BENCH_FILE, help=f"output path (default {BENCH_FILE})")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_sys = sub.add_parser("systems", help="list systems and applications")
     p_sys.set_defaults(func=cmd_systems)
+
+    p_cache = sub.add_parser("cache", help="show or clear the on-disk result cache")
+    p_cache.add_argument("--clear", action="store_true", help="delete every cached result")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

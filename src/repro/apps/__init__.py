@@ -3,28 +3,24 @@
 from .barneshut import BarnesHut, reference_run
 from .base import Application, run_machine, run_on
 from .cholesky import Cholesky
+from .factory import APP_REGISTRY, AppFactory
 from .intsort import IntegerSort, bucket_stable_ranks
 from .maxflow import Maxflow
-from .presets import default_scale, paper_scale, smoke_scale
-
-#: Factories for the paper's application set, keyed by figure name.
-APP_REGISTRY = {
-    "Cholesky": Cholesky,
-    "IS": IntegerSort,
-    "Maxflow": Maxflow,
-    "Nbody": BarnesHut,
-}
+from .presets import SCALES, default_scale, paper_scale, preset, smoke_scale
 
 __all__ = [
     "APP_REGISTRY",
+    "AppFactory",
     "Application",
     "BarnesHut",
     "Cholesky",
     "IntegerSort",
     "Maxflow",
+    "SCALES",
     "bucket_stable_ranks",
     "default_scale",
     "paper_scale",
+    "preset",
     "smoke_scale",
     "reference_run",
     "run_machine",

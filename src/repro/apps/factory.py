@@ -1,0 +1,68 @@
+"""Picklable application factories.
+
+``run_study``/``sweep`` build a fresh :class:`Application` per run from a
+zero-argument factory.  A ``lambda`` works for in-process execution but
+cannot cross a process-pool boundary; :class:`AppFactory` is the
+picklable, hashable equivalent — it names an application class from
+:data:`APP_REGISTRY` plus its constructor keyword arguments, so a job
+spec can be shipped to a worker process and can key an on-disk result
+cache (see ``repro.core.parallel``).
+"""
+
+from __future__ import annotations
+
+from .barneshut import BarnesHut
+from .base import Application
+from .cholesky import Cholesky
+from .intsort import IntegerSort
+from .maxflow import Maxflow
+
+#: Application classes, keyed by figure name.
+APP_REGISTRY: dict[str, type[Application]] = {
+    "Cholesky": Cholesky,
+    "IS": IntegerSort,
+    "Maxflow": Maxflow,
+    "Nbody": BarnesHut,
+}
+
+
+class AppFactory:
+    """A picklable ``lambda: AppClass(**kwargs)``.
+
+    ``app`` must be a key of :data:`APP_REGISTRY`; ``kwargs`` are passed
+    to the class constructor on every call.  Instances compare equal by
+    value and have a deterministic ``repr``, which is what the result
+    cache hashes.
+    """
+
+    __slots__ = ("app", "kwargs")
+
+    def __init__(self, app: str, **kwargs: object):
+        if app not in APP_REGISTRY:
+            raise ValueError(
+                f"unknown application {app!r}; choose from {', '.join(APP_REGISTRY)}"
+            )
+        self.app = app
+        self.kwargs = tuple(sorted(kwargs.items()))
+
+    def __call__(self) -> Application:
+        return APP_REGISTRY[self.app](**dict(self.kwargs))
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.kwargs)
+        return f"AppFactory({self.app!r}{', ' if args else ''}{args})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AppFactory):
+            return NotImplemented
+        return self.app == other.app and self.kwargs == other.kwargs
+
+    def __hash__(self) -> int:
+        return hash((self.app, self.kwargs))
+
+    def __getstate__(self) -> tuple[str, tuple]:
+        return (self.app, self.kwargs)
+
+    def __setstate__(self, state: tuple[str, tuple]) -> None:
+        object.__setattr__(self, "app", state[0])
+        object.__setattr__(self, "kwargs", state[1])

@@ -20,41 +20,51 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from .barneshut import BarnesHut
 from .base import Application
-from .cholesky import Cholesky
-from .intsort import IntegerSort
-from .maxflow import Maxflow
+from .factory import AppFactory
 
-#: (factory, expect_reuse) per application name.
+#: (factory, expect_reuse) per application name.  Factories are
+#: :class:`AppFactory` instances, so every preset is picklable and can
+#: run through the process-pool layer (``repro.core.parallel``).
 Preset = dict[str, tuple[Callable[[], Application], bool]]
+
+#: Named preset scales, for CLI/bench selection.
+SCALES = ("smoke", "default", "paper")
 
 
 def paper_scale() -> Preset:
     """The paper's input sizes (slow: minutes per system per app)."""
     return {
-        "Cholesky": (lambda: Cholesky(grid=(33, 33)), False),
-        "IS": (lambda: IntegerSort(n_keys=32768, nbuckets=1024), False),
-        "Maxflow": (lambda: Maxflow(n=200, extra_edges=400, seed=0), True),
-        "Nbody": (lambda: BarnesHut(n_bodies=128, steps=50, boost_interval=10), True),
+        "Cholesky": (AppFactory("Cholesky", grid=(33, 33)), False),
+        "IS": (AppFactory("IS", n_keys=32768, nbuckets=1024), False),
+        "Maxflow": (AppFactory("Maxflow", n=200, extra_edges=400, seed=0), True),
+        "Nbody": (AppFactory("Nbody", n_bodies=128, steps=50, boost_interval=10), True),
     }
 
 
 def default_scale() -> Preset:
     """The benchmark harness's reduced inputs (seconds per run)."""
     return {
-        "Cholesky": (lambda: Cholesky(grid=(10, 10)), False),
-        "IS": (lambda: IntegerSort(n_keys=2048, nbuckets=128), False),
-        "Maxflow": (lambda: Maxflow(n=48, extra_edges=96, seed=0), True),
-        "Nbody": (lambda: BarnesHut(n_bodies=128, steps=10, boost_interval=5), True),
+        "Cholesky": (AppFactory("Cholesky", grid=(10, 10)), False),
+        "IS": (AppFactory("IS", n_keys=2048, nbuckets=128), False),
+        "Maxflow": (AppFactory("Maxflow", n=48, extra_edges=96, seed=0), True),
+        "Nbody": (AppFactory("Nbody", n_bodies=128, steps=10, boost_interval=5), True),
     }
 
 
 def smoke_scale() -> Preset:
     """Tiny inputs for fast tests."""
     return {
-        "Cholesky": (lambda: Cholesky(grid=(4, 4)), False),
-        "IS": (lambda: IntegerSort(n_keys=128, nbuckets=16), False),
-        "Maxflow": (lambda: Maxflow(n=12, extra_edges=18, seed=1), True),
-        "Nbody": (lambda: BarnesHut(n_bodies=12, steps=2, boost_interval=1), True),
+        "Cholesky": (AppFactory("Cholesky", grid=(4, 4)), False),
+        "IS": (AppFactory("IS", n_keys=128, nbuckets=16), False),
+        "Maxflow": (AppFactory("Maxflow", n=12, extra_edges=18, seed=1), True),
+        "Nbody": (AppFactory("Nbody", n_bodies=12, steps=2, boost_interval=1), True),
     }
+
+
+def preset(scale: str) -> Preset:
+    """Look up a preset by scale name (one of :data:`SCALES`)."""
+    try:
+        return {"smoke": smoke_scale, "default": default_scale, "paper": paper_scale}[scale]()
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; choose from {', '.join(SCALES)}") from None

@@ -1,19 +1,28 @@
 """Core: the z-machine benchmarking methodology."""
 
+from .bench import format_bench, run_bench
+from .parallel import JobResult, JobSpec, ResultCache, execute_job, run_jobs
 from .study import StudyResult, SystemResult, run_study
 from .sweep import SweepPoint, SweepResult, sweep
 from .table1 import Table1Row, table1, table1_row
 from .timeline import ReadObservation, TimelineResult, figure1_scenario
 
 __all__ = [
+    "JobResult",
+    "JobSpec",
     "ReadObservation",
+    "ResultCache",
     "StudyResult",
     "SweepPoint",
     "SweepResult",
     "SystemResult",
     "Table1Row",
     "TimelineResult",
+    "execute_job",
     "figure1_scenario",
+    "format_bench",
+    "run_bench",
+    "run_jobs",
     "run_study",
     "sweep",
     "table1",

@@ -1,0 +1,124 @@
+"""``repro bench`` — the performance baseline for the parallel layer.
+
+Runs a fixed, representative workload set (every preset application ×
+every paper memory system) three times through
+:func:`repro.core.parallel.run_jobs`:
+
+1. **serial** — ``jobs=1``, no cache: the pre-parallel-layer baseline;
+2. **parallel** — ``jobs=N`` against a cold cache: pure fan-out;
+3. **cached** — the same jobs again against the now-warm cache.
+
+and writes a ``BENCH_parallel.json`` trajectory file with wall-clock
+per phase, speedup vs serial, and the cache hit rate, so future changes
+have a recorded perf baseline to compare against.  The serial and
+parallel phases must produce bit-identical results (simulations are
+deterministic); the bench asserts this and records it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from ..apps.presets import preset
+from ..mem.systems import PAPER_SYSTEMS
+from ..config import MachineConfig
+from .parallel import JobSpec, ResultCache, resolve_jobs, run_jobs
+
+#: Name of the trajectory file the bench emits by default.
+BENCH_FILE = "BENCH_parallel.json"
+
+
+def bench_specs(
+    scale: str = "default",
+    config: MachineConfig | None = None,
+    systems: tuple[str, ...] = PAPER_SYSTEMS,
+) -> list[JobSpec]:
+    """The fixed workload set: every preset app on every system."""
+    cfg = config if config is not None else MachineConfig()
+    return [
+        JobSpec(factory=factory, system=system, config=cfg)
+        for factory, _ in preset(scale).values()
+        for system in systems
+    ]
+
+
+def run_bench(
+    scale: str = "default",
+    jobs: int | None = None,
+    out: str | os.PathLike | None = BENCH_FILE,
+    cache_dir: str | os.PathLike | None = None,
+) -> dict:
+    """Run the three-phase bench; write and return the trajectory dict.
+
+    ``jobs=None`` uses one worker per CPU.  ``cache_dir=None`` uses a
+    throwaway temporary directory so the bench always starts cold.
+    ``out=None`` skips writing the JSON file.
+    """
+    nworkers = resolve_jobs(jobs)
+    specs = bench_specs(scale)
+
+    t0 = time.perf_counter()
+    serial = run_jobs(specs, jobs=1, cache=None)
+    serial_s = time.perf_counter() - t0
+
+    with TemporaryDirectory() as tmp:
+        cache = ResultCache(cache_dir if cache_dir is not None else tmp)
+        t0 = time.perf_counter()
+        parallel = run_jobs(specs, jobs=nworkers, cache=cache)
+        parallel_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cached = run_jobs(specs, jobs=nworkers, cache=cache)
+        cached_s = time.perf_counter() - t0
+
+    identical = all(
+        a.result == b.result == c.result for a, b, c in zip(serial, parallel, cached)
+    )
+    assert identical, "parallel/cached results diverged from serial baseline"
+    cache_hits = sum(1 for job in cached if job.cached)
+
+    def speedup(phase_s: float) -> float:
+        return serial_s / phase_s if phase_s > 0 else float("inf")
+
+    doc = {
+        "bench": "parallel-study-engine",
+        "scale": scale,
+        "jobs": nworkers,
+        "cpu_count": os.cpu_count(),
+        "n_runs": len(specs),
+        "simulated_cycles": sum(job.result.total_time for job in serial),
+        "phases": {
+            "serial": {"wall_s": round(serial_s, 4), "speedup": 1.0},
+            "parallel": {"wall_s": round(parallel_s, 4), "speedup": round(speedup(parallel_s), 3)},
+            "cached": {"wall_s": round(cached_s, 4), "speedup": round(speedup(cached_s), 3)},
+        },
+        "speedup": round(max(speedup(parallel_s), speedup(cached_s)), 3),
+        "cache_hit_rate": round(cache_hits / len(specs), 4) if specs else 0.0,
+        "results_identical": identical,
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def format_bench(doc: dict) -> str:
+    """Human-readable summary of a bench trajectory."""
+    lines = [
+        f"bench: {doc['n_runs']} runs ({doc['scale']} scale) with "
+        f"{doc['jobs']} worker(s) on a {doc['cpu_count']}-CPU host",
+        f"{'phase':>10s} {'wall (s)':>10s} {'speedup':>9s}",
+    ]
+    for name, phase in doc["phases"].items():
+        lines.append(f"{name:>10s} {phase['wall_s']:>10.3f} {phase['speedup']:>8.2f}x")
+    lines.append(
+        f"cache hit rate {100 * doc['cache_hit_rate']:.0f}%, "
+        f"results identical: {doc['results_identical']}"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["BENCH_FILE", "bench_specs", "format_bench", "run_bench"]

@@ -1,0 +1,339 @@
+"""Process-pool fan-out and result caching for studies and sweeps.
+
+The paper's methodology is embarrassingly parallel: a study runs the
+same application on five independent memory systems, a sweep runs one
+system at many parameter values, and no run shares state with any
+other.  This module exploits that structure:
+
+* :class:`JobSpec` — a picklable description of one simulation run
+  (application factory + memory system + :class:`MachineConfig`);
+* :func:`execute_job` — runs one spec and returns a :class:`JobResult`
+  whose payload (a :class:`SimResult` plus the traffic summary and
+  z-machine counters) is itself picklable, so nothing heavyweight — in
+  particular no :class:`~repro.runtime.context.Machine` — crosses the
+  pool boundary;
+* :func:`run_jobs` — fans specs out over a ``ProcessPoolExecutor`` with
+  deterministic result ordering, graceful fallback to in-process
+  execution when ``jobs == 1`` or a spec cannot be pickled, and an
+  optional on-disk :class:`ResultCache`;
+* :class:`ResultCache` — keyed by a stable hash of (job spec, code
+  fingerprint), so repeated studies and sweeps are near-free while any
+  change to the simulator's source invalidates every entry.
+
+See docs/performance.md for the architecture and cache-invalidation
+rules, and ``repro.core.bench`` for the measured speedups.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..apps.base import Application, run_machine
+from ..apps.factory import AppFactory
+from ..config import MachineConfig
+from ..mem.systems.zmachine import ZMachine
+from ..sim.stats import SimResult
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every cache entry independently of source changes.
+CACHE_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# job specification and execution
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation run: application factory + system + configuration.
+
+    ``factory`` should be an :class:`~repro.apps.factory.AppFactory`
+    (or any picklable zero-argument callable) for the spec to run in a
+    worker process and to be cacheable; an unpicklable factory (e.g. a
+    lambda) still executes, just in-process and uncached.
+    """
+
+    factory: Callable[[], Application]
+    system: str
+    config: MachineConfig
+    verify: bool = True
+    max_ops: int | None = None
+
+    def fingerprint(self) -> str:
+        """Stable identity of this spec, for cache keying.
+
+        Raises ``ValueError`` for factories with no stable identity.
+        """
+        if isinstance(self.factory, AppFactory):
+            fact = repr(self.factory)
+        else:
+            try:
+                fact = pickle.dumps(self.factory, protocol=4).hex()
+            except Exception:
+                raise ValueError(
+                    f"factory {self.factory!r} is not picklable; "
+                    "use repro.apps.AppFactory for cacheable jobs"
+                ) from None
+        return (
+            f"schema={CACHE_SCHEMA};factory={fact};system={self.system};"
+            f"config={self.config!r};verify={self.verify};max_ops={self.max_ops}"
+        )
+
+
+@dataclass
+class JobResult:
+    """Picklable payload of one run — everything a study/sweep needs.
+
+    Shipping this instead of a ``Machine`` keeps the pool (and the
+    cache) cheap: a :class:`SimResult` is a few KB of counters.
+    """
+
+    system: str
+    result: SimResult
+    #: Canonical application name (``Application.name``).
+    app: str = ""
+    #: ``memsys.traffic_summary()`` of the run's machine.
+    traffic: dict[str, float] = field(default_factory=dict)
+    #: z-machine-only counters (``shared_writes``, ``network_cycles``),
+    #: ``None`` for the real memory systems.
+    zstats: dict[str, float] | None = None
+    #: Wall-clock seconds the simulation took (when freshly executed).
+    elapsed: float = 0.0
+    #: Whether this result was served from the on-disk cache.
+    cached: bool = False
+
+
+def execute_job(spec: JobSpec) -> JobResult:
+    """Run one :class:`JobSpec` in the current process."""
+    t0 = time.perf_counter()
+    app = spec.factory()
+    machine, result = run_machine(
+        app, spec.system, spec.config, verify=spec.verify, max_ops=spec.max_ops
+    )
+    zstats = None
+    if isinstance(machine.memsys, ZMachine):
+        zstats = {
+            "shared_writes": machine.memsys.shared_writes,
+            "network_cycles": machine.memsys.network_cycles,
+        }
+    return JobResult(
+        system=machine.system_name,
+        result=result,
+        app=app.name,
+        traffic=machine.memsys.traffic_summary(),
+        zstats=zstats,
+        elapsed=time.perf_counter() - t0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# on-disk result cache
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``repro`` source file — the cache's code version.
+
+    Any edit to the simulator invalidates all cached results, which is
+    the conservative rule: results are only reused when the code that
+    would recompute them is byte-identical.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(path.read_bytes())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def cache_key(spec: JobSpec) -> str:
+    """sha256 over (spec fingerprint, code fingerprint)."""
+    text = f"{spec.fingerprint()}|code={code_fingerprint()}"
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of pickled :class:`JobResult`\\ s keyed by :func:`cache_key`.
+
+    Entries carry the code fingerprint inside their key, so stale
+    results are never *returned* — they are simply unreachable garbage
+    that :meth:`clear` removes.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory).expanduser()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """Cache at ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+        return cls(os.environ.get(CACHE_DIR_ENV, "~/.cache/repro"))
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, spec: JobSpec) -> JobResult | None:
+        """Return the cached result for ``spec``, or ``None`` on a miss."""
+        try:
+            key = cache_key(spec)
+        except ValueError:
+            self.misses += 1
+            return None
+        try:
+            with open(self._path(key), "rb") as fh:
+                job = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        job.cached = True
+        return job
+
+    def put(self, spec: JobSpec, job: JobResult) -> None:
+        """Store ``job`` under ``spec``'s key (atomic; best-effort)."""
+        try:
+            key = cache_key(spec)
+        except ValueError:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(job, fh, protocol=4)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# fan-out
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a worker count: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _poolable(specs: Sequence[JobSpec]) -> bool:
+    """Whether every spec survives a round-trip to a worker process."""
+    try:
+        pickle.dumps(list(specs), protocol=4)
+        return True
+    except Exception:
+        return False
+
+
+def run_jobs(
+    specs: Sequence[JobSpec],
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[JobResult]:
+    """Execute ``specs`` and return their results *in spec order*.
+
+    ``jobs > 1`` fans the cache misses out over a process pool of that
+    many workers (``None``/``0`` = one per CPU).  Execution falls back
+    to the in-process path when ``jobs == 1``, when a spec cannot be
+    pickled, or when the pool itself fails — results are identical
+    either way (simulations are deterministic), only wall-clock differs.
+    """
+    specs = list(specs)
+    results: list[JobResult | None] = [None] * len(specs)
+    pending: list[tuple[int, JobSpec]] = []
+    for i, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append((i, spec))
+
+    nworkers = resolve_jobs(jobs)
+    if pending:
+        fresh: list[JobResult] | None = None
+        if nworkers > 1 and len(pending) > 1 and _poolable([s for _, s in pending]):
+            try:
+                with ProcessPoolExecutor(max_workers=min(nworkers, len(pending))) as pool:
+                    fresh = list(pool.map(execute_job, [s for _, s in pending]))
+            except (BrokenProcessPool, OSError, pickle.PicklingError):
+                fresh = None
+        if fresh is None:
+            fresh = [execute_job(s) for _, s in pending]
+        for (i, spec), job in zip(pending, fresh):
+            results[i] = job
+            if cache is not None:
+                cache.put(spec, job)
+    return [r for r in results if r is not None]
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    jobs: int | None = 1,
+) -> list:
+    """Order-preserving ``map(fn, items)`` over a process pool.
+
+    ``fn`` must be a module-level callable for ``jobs > 1``; falls back
+    to a plain in-process map when the pool is unavailable or anything
+    fails to pickle.
+    """
+    items = list(items)
+    nworkers = resolve_jobs(jobs)
+    if nworkers > 1 and len(items) > 1:
+        try:
+            pickle.dumps((fn, items), protocol=4)
+            with ProcessPoolExecutor(max_workers=min(nworkers, len(items))) as pool:
+                return list(pool.map(fn, items))
+        except (BrokenProcessPool, OSError, pickle.PicklingError):
+            pass
+    return [fn(item) for item in items]
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "JobResult",
+    "JobSpec",
+    "ResultCache",
+    "cache_key",
+    "code_fingerprint",
+    "execute_job",
+    "parallel_map",
+    "resolve_jobs",
+    "run_jobs",
+]

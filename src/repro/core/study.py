@@ -11,11 +11,12 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from ..apps.base import Application, run_machine
+from ..apps.base import Application
 from ..config import MachineConfig
 from ..mem.systems import PAPER_SYSTEMS
 from ..runtime.context import Machine
 from ..sim.stats import SimResult
+from .parallel import JobResult, JobSpec, ResultCache, run_jobs
 
 
 @dataclass
@@ -42,9 +43,12 @@ class SystemResult:
         return self.read_stall + self.write_stall + self.buffer_flush
 
     @classmethod
-    def from_run(cls, machine: Machine, result: SimResult) -> "SystemResult":
+    def from_sim(
+        cls, system: str, result: SimResult, traffic: dict[str, float] | None = None
+    ) -> "SystemResult":
+        """Build from the picklable run payload (no machine needed)."""
         return cls(
-            system=machine.system_name,
+            system=system,
             total_time=result.total_time,
             busy=result.mean_busy,
             read_stall=result.mean_read_stall,
@@ -57,8 +61,16 @@ class SystemResult:
             read_misses=result.total_read_misses,
             network_messages=result.network_messages,
             network_bytes=result.network_bytes,
-            traffic=machine.memsys.traffic_summary(),
+            traffic=dict(traffic or {}),
         )
+
+    @classmethod
+    def from_run(cls, machine: Machine, result: SimResult) -> "SystemResult":
+        return cls.from_sim(machine.system_name, result, machine.memsys.traffic_summary())
+
+    @classmethod
+    def from_job(cls, job: JobResult) -> "SystemResult":
+        return cls.from_sim(job.system, job.result, job.traffic)
 
 
 @dataclass
@@ -90,19 +102,27 @@ def run_study(
     systems: tuple[str, ...] = PAPER_SYSTEMS,
     verify: bool = True,
     max_ops: int | None = None,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> StudyResult:
     """Run ``app_factory()`` on every memory system in ``systems``.
 
     A fresh application instance is built per system (shared state is
     per-run).  Every run is verified against the application's
     reference implementation unless ``verify=False``.
+
+    The per-system runs are independent; ``jobs > 1`` executes them
+    concurrently in worker processes (``None``/``0`` = one per CPU) and
+    ``cache`` reuses on-disk results from previous identical runs — see
+    :mod:`repro.core.parallel`.  Results are identical regardless of
+    ``jobs``; only wall-clock time changes.
     """
     cfg = config if config is not None else MachineConfig()
-    results: list[SystemResult] = []
-    app_name = None
-    for system in systems:
-        app = app_factory()
-        app_name = app.name
-        machine, result = run_machine(app, system, cfg, verify=verify, max_ops=max_ops)
-        results.append(SystemResult.from_run(machine, result))
+    specs = [
+        JobSpec(factory=app_factory, system=system, config=cfg, verify=verify, max_ops=max_ops)
+        for system in systems
+    ]
+    jobs_done = run_jobs(specs, jobs=jobs, cache=cache)
+    results = [SystemResult.from_job(job) for job in jobs_done]
+    app_name = jobs_done[0].app if jobs_done else "?"
     return StudyResult(app_name=app_name or "?", config=cfg, systems=results)

@@ -15,15 +15,23 @@ from ..apps.base import Application, run_machine
 from ..config import MachineConfig
 from ..runtime.context import Machine
 from ..sim.stats import SimResult
+from .parallel import JobSpec, ResultCache, run_jobs
 
 
 @dataclass
 class SweepPoint:
-    """One point of a parameter sweep."""
+    """One point of a parameter sweep.
+
+    ``machine`` is optional inspection-only state: it is populated on
+    the in-process path (``jobs=1``, cache miss) but deliberately left
+    ``None`` for results that crossed a process boundary or came from
+    the cache, so sweep points stay cheap to ship and serialize.  All
+    metrics live in ``result``.
+    """
 
     value: object
     result: SimResult
-    machine: Machine = field(repr=False)
+    machine: Machine | None = field(default=None, repr=False, compare=False)
 
     @property
     def total_time(self) -> float:
@@ -74,19 +82,41 @@ def sweep(
     system: str = "RCinv",
     base_config: MachineConfig | None = None,
     verify: bool = True,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> SweepResult:
     """Run ``app_factory()`` on ``system`` for each config value.
 
     ``parameter`` names a :class:`MachineConfig` field; every point uses
     ``base_config.replace(parameter=value)``.
+
+    Points are independent runs: ``jobs > 1`` executes them in worker
+    processes and ``cache`` reuses previous identical runs (see
+    :mod:`repro.core.parallel`).  On the plain in-process path
+    (``jobs=1``, no cache) each point also carries its ``machine`` for
+    inspection; pooled or cached points ship only the picklable
+    :class:`SimResult` payload.
     """
     cfg = base_config if base_config is not None else MachineConfig()
     if not hasattr(cfg, parameter):
         raise ValueError(f"MachineConfig has no parameter {parameter!r}")
     points = []
-    for value in values:
-        machine, result = run_machine(
-            app_factory(), system, cfg.replace(**{parameter: value}), verify=verify
-        )
-        points.append(SweepPoint(value=value, result=result, machine=machine))
+    if jobs == 1 and cache is None:
+        for value in values:
+            machine, result = run_machine(
+                app_factory(), system, cfg.replace(**{parameter: value}), verify=verify
+            )
+            points.append(SweepPoint(value=value, result=result, machine=machine))
+    else:
+        specs = [
+            JobSpec(
+                factory=app_factory,
+                system=system,
+                config=cfg.replace(**{parameter: value}),
+                verify=verify,
+            )
+            for value in values
+        ]
+        for value, job in zip(values, run_jobs(specs, jobs=jobs, cache=cache)):
+            points.append(SweepPoint(value=value, result=job.result))
     return SweepResult(parameter=parameter, system=system, points=points)

@@ -12,9 +12,9 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from ..apps.base import Application, run_machine
+from ..apps.base import Application
 from ..config import MachineConfig
-from ..mem.systems.zmachine import ZMachine
+from .parallel import JobResult, JobSpec, ResultCache, execute_job, run_jobs
 
 
 @dataclass
@@ -33,6 +33,27 @@ class Table1Row:
     total_time: float
 
 
+def _row_from_job(cfg: MachineConfig, job: JobResult) -> Table1Row:
+    """Assemble a row from a z-machine run's picklable payload."""
+    assert job.zstats is not None, "table 1 rows require a z-machine run"
+    result = job.result
+    total = result.total_time
+    shared_writes = int(job.zstats["shared_writes"])
+    network_cycles = job.zstats["network_cycles"]
+    observed = sum(p.read_stall for p in result.procs)
+    return Table1Row(
+        app=job.app,
+        shared_writes=shared_writes,
+        write_pct=(
+            100.0 * shared_writes * cfg.cache_hit_cycles / total if total else 0.0
+        ),
+        observed_cost=observed,
+        network_cycles=network_cycles,
+        network_pct=100.0 * network_cycles / total if total else 0.0,
+        total_time=total,
+    )
+
+
 def table1_row(
     app_factory: Callable[[], Application],
     config: MachineConfig | None = None,
@@ -40,29 +61,26 @@ def table1_row(
 ) -> Table1Row:
     """Run one application on the z-machine and compute its Table 1 row."""
     cfg = config if config is not None else MachineConfig()
-    app = app_factory()
-    machine, result = run_machine(app, "z-mc", cfg, verify=verify)
-    memsys = machine.memsys
-    assert isinstance(memsys, ZMachine)
-    total = result.total_time
-    observed = sum(p.read_stall for p in result.procs)
-    return Table1Row(
-        app=app.name,
-        shared_writes=memsys.shared_writes,
-        write_pct=(
-            100.0 * memsys.shared_writes * cfg.cache_hit_cycles / total if total else 0.0
-        ),
-        observed_cost=observed,
-        network_cycles=memsys.network_cycles,
-        network_pct=100.0 * memsys.network_cycles / total if total else 0.0,
-        total_time=total,
-    )
+    job = execute_job(JobSpec(factory=app_factory, system="z-mc", config=cfg, verify=verify))
+    return _row_from_job(cfg, job)
 
 
 def table1(
     app_factories: dict[str, Callable[[], Application]],
     config: MachineConfig | None = None,
     verify: bool = True,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[Table1Row]:
-    """Compute Table 1 for a set of applications."""
-    return [table1_row(f, config, verify) for f in app_factories.values()]
+    """Compute Table 1 for a set of applications.
+
+    The per-application z-machine runs are independent, so ``jobs > 1``
+    fans them out over worker processes and ``cache`` reuses previous
+    identical runs (see :mod:`repro.core.parallel`).
+    """
+    cfg = config if config is not None else MachineConfig()
+    specs = [
+        JobSpec(factory=factory, system="z-mc", config=cfg, verify=verify)
+        for factory in app_factories.values()
+    ]
+    return [_row_from_job(cfg, job) for job in run_jobs(specs, jobs=jobs, cache=cache)]

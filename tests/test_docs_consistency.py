@@ -1,0 +1,115 @@
+"""Docs-consistency checks, wired into the tier-1 run.
+
+Guards against documentation drift:
+
+* every CLI subcommand and long flag that ``repro.__main__.build_parser``
+  defines must be mentioned in README.md;
+* the machine-constants table in docs/cost_model.md must list every
+  :class:`MachineConfig` field with its actual default;
+* module paths referenced in the docs must import.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import build_parser
+from repro.config import MachineConfig
+
+ROOT = Path(__file__).resolve().parent.parent
+README = (ROOT / "README.md").read_text()
+COST_MODEL = (ROOT / "docs" / "cost_model.md").read_text()
+
+
+def cli_surface() -> tuple[set[str], set[str]]:
+    """(subcommand names, long option strings) of the real parser."""
+    parser = build_parser()
+    subcommands: set[str] = set()
+    flags = {
+        opt
+        for action in parser._actions
+        for opt in action.option_strings
+        if opt.startswith("--")
+    }
+    for action in parser._actions:
+        if isinstance(action, type(parser._subparsers._group_actions[0])) and hasattr(
+            action, "choices"
+        ):
+            for name, sub in action.choices.items():
+                subcommands.add(name)
+                for sub_action in sub._actions:
+                    flags.update(o for o in sub_action.option_strings if o.startswith("--"))
+    flags.discard("--help")
+    return subcommands, flags
+
+
+def test_every_cli_subcommand_documented_in_readme():
+    subcommands, _ = cli_surface()
+    assert subcommands  # the parser really has subcommands
+    missing = {cmd for cmd in subcommands if not re.search(rf"\brepro {cmd}\b", README)}
+    assert not missing, f"README.md never shows these subcommands: {sorted(missing)}"
+
+
+def test_every_cli_flag_documented_in_readme():
+    _, flags = cli_surface()
+    assert flags
+    missing = {flag for flag in flags if flag not in README}
+    assert not missing, f"README.md never mentions these flags: {sorted(missing)}"
+
+
+def machine_constant_rows() -> dict[str, str]:
+    """constant name -> default cell from the cost-model table."""
+    rows = {}
+    for match in re.finditer(r"^\| `(\w+)` \| ([^|]+) \|", COST_MODEL, re.MULTILINE):
+        rows[match.group(1)] = match.group(2).strip()
+    return rows
+
+
+def test_cost_model_table_covers_every_config_field():
+    documented = set(machine_constant_rows())
+    actual = {f.name for f in dataclasses.fields(MachineConfig)}
+    assert actual <= documented, (
+        f"docs/cost_model.md table is missing MachineConfig fields: "
+        f"{sorted(actual - documented)}"
+    )
+
+
+@pytest.mark.parametrize("field", dataclasses.fields(MachineConfig), ids=lambda f: f.name)
+def test_cost_model_defaults_match_config(field):
+    rows = machine_constant_rows()
+    if field.name not in rows:
+        pytest.skip("coverage asserted separately")
+    cell = rows[field.name]
+    default = field.default
+    if default is None:
+        assert "infinite" in cell or "None" in cell, (
+            f"{field.name}: doc says {cell!r}, default is None (infinite)"
+        )
+    elif isinstance(default, str):
+        assert default in cell, f"{field.name}: doc says {cell!r}, default is {default!r}"
+    else:
+        number = re.search(r"[\d.]+", cell)
+        assert number, f"{field.name}: no numeric default in doc cell {cell!r}"
+        assert float(number.group()) == float(default), (
+            f"{field.name}: doc says {cell!r}, default is {default!r}"
+        )
+
+
+#: module paths the prose docs rely on (drift guard for renames).
+DOCUMENTED_MODULES = [
+    "repro.apps.costs",
+    "repro.core.bench",
+    "repro.core.parallel",
+    "repro.mem.cache",
+    "repro.sim.engine",
+]
+
+
+@pytest.mark.parametrize("module", DOCUMENTED_MODULES)
+def test_documented_module_paths_import(module):
+    importlib.import_module(module)
