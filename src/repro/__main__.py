@@ -9,6 +9,9 @@ fig1     print the Figure 1 inherent-cost-vs-overhead scenario
 claims   evaluate the paper's qualitative claims on fresh runs
 bench    time serial vs parallel vs cached execution of the full study
          set and write a BENCH_parallel.json perf baseline
+check    run the correctness analyses (happens-before race detection +
+         protocol invariant checking) over an apps × systems matrix;
+         exits nonzero on any finding
 systems  list available memory systems and applications
 cache    show or clear the on-disk result cache
 
@@ -22,11 +25,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from . import MachineConfig, figure1_scenario, run_study, table1
 from .analysis import format_claims, format_figure, format_table1, standard_claims
+from .analysis.checkers import (
+    CHECK_BENCH_FILE,
+    check_matrix,
+    format_outcomes,
+    run_checks,
+    write_check_bench,
+)
 from .analysis.report import studies_to_csv, studies_to_json, table1_to_csv
-from .apps import SCALES, default_scale
+from .apps import SCALES, default_scale, preset
+from .apps.factory import AppFactory
 from .core.bench import BENCH_FILE, format_bench, run_bench
 from .core.parallel import ResultCache, parallel_map
 from .mem.systems import PAPER_SYSTEMS, SYSTEM_REGISTRY
@@ -127,6 +139,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    cfg = _config(args)
+    systems = tuple(args.systems) if args.systems else tuple(sorted(SYSTEM_REGISTRY))
+    for s in systems:
+        if s not in SYSTEM_REGISTRY:
+            raise SystemExit(f"unknown memory system {s!r}")
+    scale_apps = {name: factory for name, (factory, _) in preset(args.scale).items()}
+    if args.all or args.app == "all":
+        factories = scale_apps
+    elif args.app in scale_apps:
+        factories = {args.app: scale_apps[args.app]}
+    elif args.app == "RacyDemo":
+        factories = {"RacyDemo": AppFactory("RacyDemo")}
+    else:
+        raise SystemExit(
+            f"unknown application {args.app!r}; choose from "
+            f"{', '.join(scale_apps)}, RacyDemo or 'all'"
+        )
+    specs = check_matrix(factories, systems, cfg, max_events=args.max_events)
+    t0 = time.perf_counter()
+    outcomes = run_checks(specs, jobs=args.jobs, cache=_cache(args))
+    wall = time.perf_counter() - t0
+    print(format_outcomes(outcomes))
+    if args.bench_out:
+        doc = write_check_bench(
+            outcomes, wall, jobs=args.jobs, scale=args.scale, out=args.bench_out
+        )
+        print(f"checker timing written to {args.bench_out} ({doc['wall_s']}s wall)")
+    findings = sum(o.races.total + o.violation_total for o in outcomes)
+    if findings:
+        print(f"FAIL: {findings} finding(s) across {len(outcomes)} run(s)")
+        return 1
+    print(f"OK: {len(outcomes)} run(s), no races, no invariant violations")
+    return 0
+
+
 def cmd_systems(args: argparse.Namespace) -> int:
     print("memory systems:", ", ".join(sorted(SYSTEM_REGISTRY)))
     print("applications:  ", ", ".join(APP_FACTORIES))
@@ -206,6 +254,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--out", default=BENCH_FILE, help=f"output path (default {BENCH_FILE})")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_check = sub.add_parser(
+        "check",
+        help="happens-before race detection + protocol invariant checking",
+    )
+    p_check.add_argument("--app", default="all", help="application name, 'RacyDemo' or 'all'")
+    p_check.add_argument(
+        "--all", action="store_true", help="check every preset app on every memory system"
+    )
+    p_check.add_argument("--systems", nargs="*", help="memory systems (default: all six)")
+    p_check.add_argument("--scale", choices=SCALES, default="smoke")
+    p_check.add_argument(
+        "--max-events",
+        type=int,
+        default=500_000,
+        help="trace ring size per run (default 500000)",
+    )
+    p_check.add_argument(
+        "--bench-out",
+        default=None,
+        help=f"write a checker timing trajectory (e.g. {CHECK_BENCH_FILE})",
+    )
+    _add_parallel_flags(p_check)
+    p_check.set_defaults(func=cmd_check)
 
     p_sys = sub.add_parser("systems", help="list systems and applications")
     p_sys.set_defaults(func=cmd_systems)

@@ -1,0 +1,248 @@
+"""Vector-clock happens-before data-race detection over memory traces.
+
+The engine issues operations in global simulated-time order, so a
+:class:`~repro.sim.trace.TracingMemory` event list is a linearisation of
+the execution.  This module rebuilds the happens-before relation from
+the synchronisation events in that list (FastTrack-style) and reports
+conflicting data accesses that are unordered by it:
+
+* **lock** — a release hands its vector clock to the lock; the next
+  acquirer of the same lock joins it;
+* **barrier** — all arrivals of one episode join into a per-episode
+  clock that every departer then joins (an all-to-all fence);
+* **flag** — each set joins into the flag's cumulative clock and
+  snapshots it per epoch; a wait for epoch *k* joins snapshot *k*.
+
+Blocked synchronisation operations are recorded at *request* time, which
+may precede the enabling release/set in the trace.  Joins are therefore
+deferred: a sync edge registered at event *i* is applied at the
+processor's *next* event, which the sync manager's network round-trip
+guarantees is issued strictly after the enabling event was traced.
+
+Intentionally unsynchronised accesses (optimistic polling re-validated
+under a lock) are declared with ``SharedArray(relaxed="read")`` and are
+excluded from race candidacy; see docs/correctness.md.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from ...sim.trace import TraceEvent
+
+
+@dataclass(frozen=True)
+class RaceAccess:
+    """One side of a reported race."""
+
+    kind: str  # "read" | "write"
+    proc: int
+    time: float  # issue time in simulated cycles
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two conflicting shared accesses unordered by happens-before."""
+
+    addr: int
+    array: str
+    element: int | None
+    first: RaceAccess
+    second: RaceAccess
+
+    def describe(self) -> str:
+        loc = f"{self.array}[{self.element}]" if self.element is not None else self.array
+        return (
+            f"{loc} (addr {self.addr}): {self.first.kind} by P{self.first.proc} "
+            f"@t={self.first.time:.0f} unordered with {self.second.kind} by "
+            f"P{self.second.proc} @t={self.second.time:.0f}"
+        )
+
+
+@dataclass
+class RaceReport:
+    """Deduplicated, bounded outcome of one detection pass."""
+
+    races: list[Race] = field(default_factory=list)
+    #: Total conflicting pairs found, including ones dropped by the
+    #: dedup/bound (every (address, kind-pair) is reported once).
+    total: int = 0
+    accesses: int = 0
+    sync_events: int = 0
+    #: Data accesses skipped because their array is labeled ``relaxed``.
+    relaxed_skipped: int = 0
+    #: Events dropped by the tracer's ring bound — a nonzero value means
+    #: the analysis only covers a prefix of the execution.
+    trace_dropped: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.total == 0
+
+    def describe(self, limit: int = 20) -> str:
+        if self.clean:
+            return f"no races ({self.accesses} accesses checked)"
+        lines = [f"{self.total} race(s) over {self.accesses} accesses:"]
+        lines += [f"  {race.describe()}" for race in self.races[:limit]]
+        if len(self.races) > limit:
+            lines.append(f"  ... {len(self.races) - limit} more distinct location(s)")
+        return "\n".join(lines)
+
+
+class _AddressMap:
+    """addr -> (array name, element index, relaxed label) via bisection."""
+
+    def __init__(self, arrays):
+        spans = []
+        for arr in arrays:
+            end = arr.base + arr.n * arr._word
+            spans.append((arr.base, end, arr.name or f"array@{arr.base}", arr._word, arr.relaxed))
+        spans.sort()
+        self._starts = [s[0] for s in spans]
+        self._spans = spans
+
+    def resolve(self, addr: int) -> tuple[str, int | None, str]:
+        i = bisect_right(self._starts, addr) - 1
+        if i >= 0:
+            base, end, name, word, relaxed = self._spans[i]
+            if addr < end:
+                return name, (addr - base) // word, relaxed
+        return f"addr@{addr}", None, ""
+
+
+class _Shadow:
+    """Per-address last-writer epoch plus per-processor read epochs."""
+
+    __slots__ = ("write", "reads")
+
+    def __init__(self):
+        self.write: tuple[int, int, float] | None = None  # (proc, clock, time)
+        self.reads: dict[int, tuple[int, float]] = {}  # proc -> (clock, time)
+
+
+def detect_races(
+    events: list[TraceEvent],
+    nprocs: int,
+    shm=None,
+    max_races: int = 100,
+    trace_dropped: int = 0,
+) -> RaceReport:
+    """Run the happens-before pass over ``events``.
+
+    ``shm`` (a :class:`~repro.runtime.sharedmem.SharedMemory`) enables
+    array/element attribution and the ``relaxed`` labeled-access
+    exemption; without it every access is checked and reported by raw
+    address.  ``max_races`` bounds the distinct (location, kind-pair)
+    entries kept in the report; the total count is always exact.
+    """
+    addrmap = _AddressMap(shm.arrays) if shm is not None else None
+    clocks = [[0] * nprocs for _ in range(nprocs)]
+    for p in range(nprocs):
+        clocks[p][p] = 1
+    lock_clocks: dict[int, list[int]] = {}
+    barrier_acc: dict[tuple[int, int], list[int]] = {}
+    flag_cum: dict[int, list[int]] = {}
+    flag_snap: dict[tuple[int, int], list[int]] = {}
+    #: Deferred joins, applied at the processor's next event.
+    pending: list[list[tuple[str, object]]] = [[] for _ in range(nprocs)]
+    shadow: dict[int, _Shadow] = {}
+    report = RaceReport(trace_dropped=trace_dropped)
+    seen: set[tuple[int, str, str]] = set()
+
+    def resolve_join(kind: str, key) -> list[int] | None:
+        if kind == "lock":
+            return lock_clocks.get(key)
+        if kind == "barrier":
+            return barrier_acc.get(key)
+        # Flag: prefer the exact epoch snapshot; fall back to the
+        # cumulative clock when the set was dropped from the trace.
+        return flag_snap.get(key) or flag_cum.get(key[0])
+
+    def join(vc: list[int], other: list[int]) -> None:
+        for i, v in enumerate(other):
+            if v > vc[i]:
+                vc[i] = v
+
+    def record(addr: int, first: RaceAccess, second: RaceAccess) -> None:
+        report.total += 1
+        key = (addr, first.kind, second.kind)
+        if key in seen:
+            return
+        seen.add(key)
+        if len(report.races) >= max_races:
+            return
+        name, element, _ = addrmap.resolve(addr) if addrmap else (f"addr@{addr}", None, "")
+        report.races.append(Race(addr, name, element, first, second))
+
+    for e in events:
+        p = e.proc
+        if p >= nprocs:
+            continue
+        my = clocks[p]
+        if pending[p]:
+            for kind, key in pending[p]:
+                other = resolve_join(kind, key)
+                if other is not None:
+                    join(my, other)
+            pending[p].clear()
+        k = e.kind
+        if k == "read" or k == "write":
+            if e.addr is None:
+                continue
+            report.accesses += 1
+            relaxed = ""
+            if addrmap is not None:
+                _, _, relaxed = addrmap.resolve(e.addr)
+            if relaxed == "all" or (relaxed == "read" and k == "read"):
+                report.relaxed_skipped += 1
+                continue
+            s = shadow.get(e.addr)
+            if s is None:
+                s = shadow[e.addr] = _Shadow()
+            w = s.write
+            me = RaceAccess(k, p, e.issue)
+            if w is not None and w[0] != p and w[1] > my[w[0]]:
+                record(e.addr, RaceAccess("write", w[0], w[2]), me)
+            if k == "read":
+                s.reads[p] = (my[p], e.issue)
+            else:
+                for q, (rclock, rtime) in s.reads.items():
+                    if q != p and rclock > my[q]:
+                        record(e.addr, RaceAccess("read", q, rtime), me)
+                s.write = (p, my[p], e.issue)
+                s.reads.clear()
+        elif k == "acquire":
+            report.sync_events += 1
+            if e.sync_kind == "lock":
+                pending[p].append(("lock", e.sync_id))
+        elif k == "release":
+            report.sync_events += 1
+            if e.sync_kind == "barrier":
+                key = (e.sync_id, e.episode)
+                acc = barrier_acc.get(key)
+                if acc is None:
+                    acc = barrier_acc[key] = [0] * nprocs
+                join(acc, my)
+                my[p] += 1
+                pending[p].append(("barrier", key))
+            elif e.sync_kind == "lock":
+                lock_clocks[e.sync_id] = list(my)
+                my[p] += 1
+            else:  # fence or untagged release: local epoch boundary only
+                my[p] += 1
+        elif k == "flag_set":
+            report.sync_events += 1
+            cum = flag_cum.get(e.sync_id)
+            if cum is None:
+                cum = flag_cum[e.sync_id] = [0] * nprocs
+            join(cum, my)
+            flag_snap[(e.sync_id, e.episode)] = list(cum)
+            my[p] += 1
+        elif k == "flag_wait":
+            report.sync_events += 1
+            pending[p].append(("flag", (e.sync_id, e.episode)))
+    return report
+
+
+__all__ = ["Race", "RaceAccess", "RaceReport", "detect_races"]

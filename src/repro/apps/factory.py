@@ -16,13 +16,17 @@ from .base import Application
 from .cholesky import Cholesky
 from .intsort import IntegerSort
 from .maxflow import Maxflow
+from .racy import RacyDemo
 
-#: Application classes, keyed by figure name.
+#: Application classes, keyed by figure name.  ``RacyDemo`` is not part
+#: of the study presets — it is the race detector's regression oracle
+#: (``repro check --app RacyDemo``).
 APP_REGISTRY: dict[str, type[Application]] = {
     "Cholesky": Cholesky,
     "IS": IntegerSort,
     "Maxflow": Maxflow,
     "Nbody": BarnesHut,
+    "RacyDemo": RacyDemo,
 }
 
 

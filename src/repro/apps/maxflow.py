@@ -34,7 +34,9 @@ class Maxflow(Application):
 
     name = "Maxflow"
 
-    def __init__(self, net: FlowNetwork | None = None, n: int = 64, extra_edges: int = 128, seed: int = 0):
+    def __init__(
+        self, net: FlowNetwork | None = None, n: int = 64, extra_edges: int = 128, seed: int = 0
+    ):
         self.net = net if net is not None else random_flow_network(n, extra_edges, seed=seed)
         self._machine: Machine | None = None
 
@@ -44,13 +46,19 @@ class Maxflow(Application):
         shm, sync = machine.shm, machine.sync
         net = self.net
         n, m = net.n, net.num_arcs
-        self.excess = shm.array(n, "excess", fill=0, align_line=True)
-        self.height = shm.array(n, "height", fill=0, align_line=True)
-        self.flow = shm.array(m, "flow", fill=0, align_line=True)
+        # excess/height/flow/active are written only under the vertex
+        # (pair) locks but read optimistically without them — stale reads
+        # are re-validated under the locks in _push/_relabel, so the
+        # reads are declared relaxed for the race detector (the paper's
+        # "labeled" competing accesses).  Write/write ordering is still
+        # checked.  The same holds for the active_count poll in worker().
+        self.excess = shm.array(n, "excess", fill=0, align_line=True, relaxed="read")
+        self.height = shm.array(n, "height", fill=0, align_line=True, relaxed="read")
+        self.flow = shm.array(m, "flow", fill=0, align_line=True, relaxed="read")
         self.cap = shm.array(m, "cap", fill=0, align_line=True)
         self.cap.poke_many([int(c) for c in net.cap])
-        self.active = shm.array(n, "active", fill=0, align_line=True)
-        self.active_count = shm.scalar("mf.active_count", fill=0)
+        self.active = shm.array(n, "active", fill=0, align_line=True, relaxed="read")
+        self.active_count = shm.scalar("mf.active_count", fill=0, relaxed="read")
         self.count_lock = Lock(sync, name="mf.count_lock")
         self.vlocks = [Lock(sync, name=f"mf.v{v}") for v in range(n)]
         self.global_q = CentralQueue(shm, sync, capacity=4 * n + 8, name="mf.global")

@@ -145,7 +145,9 @@ def opens(half: float, dx: float, dy: float, eps: float, theta: float) -> bool:
     return size * size >= theta * theta * r2
 
 
-def force_reference(tree: QuadTree, i: int, xs, ys, theta: float, eps: float) -> tuple[float, float]:
+def force_reference(
+    tree: QuadTree, i: int, xs, ys, theta: float, eps: float
+) -> tuple[float, float]:
     """Sequential force on body ``i`` (mirrors the simulated traversal)."""
     x, y = xs[i], ys[i]
     ax = ay = 0.0

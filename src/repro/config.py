@@ -109,7 +109,7 @@ class MachineConfig:
     def words_per_line(self) -> int:
         return self.line_size // self.word_size
 
-    def replace(self, **changes: object) -> "MachineConfig":
+    def replace(self, **changes: object) -> MachineConfig:
         """Return a copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
 

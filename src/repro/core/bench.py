@@ -24,8 +24,8 @@ from pathlib import Path
 from tempfile import TemporaryDirectory
 
 from ..apps.presets import preset
-from ..mem.systems import PAPER_SYSTEMS
 from ..config import MachineConfig
+from ..mem.systems import PAPER_SYSTEMS
 from .parallel import JobSpec, ResultCache, resolve_jobs, run_jobs
 
 #: Name of the trajectory file the bench emits by default.

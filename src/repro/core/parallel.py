@@ -182,7 +182,7 @@ class ResultCache:
         self.misses = 0
 
     @classmethod
-    def default(cls) -> "ResultCache":
+    def default(cls) -> ResultCache:
         """Cache at ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
         return cls(os.environ.get(CACHE_DIR_ENV, "~/.cache/repro"))
 
@@ -265,6 +265,7 @@ def run_jobs(
     specs: Sequence[JobSpec],
     jobs: int | None = 1,
     cache: ResultCache | None = None,
+    executor: Callable = execute_job,
 ) -> list[JobResult]:
     """Execute ``specs`` and return their results *in spec order*.
 
@@ -273,6 +274,12 @@ def run_jobs(
     to the in-process path when ``jobs == 1``, when a spec cannot be
     pickled, or when the pool itself fails — results are identical
     either way (simulations are deterministic), only wall-clock differs.
+
+    ``executor`` maps one spec to one result and defaults to
+    :func:`execute_job`; any module-level callable over specs that have
+    a ``fingerprint()`` and results that have a ``cached`` attribute
+    works (``repro.analysis.checkers.runner`` reuses this machinery for
+    correctness checks).
     """
     specs = list(specs)
     results: list[JobResult | None] = [None] * len(specs)
@@ -290,11 +297,11 @@ def run_jobs(
         if nworkers > 1 and len(pending) > 1 and _poolable([s for _, s in pending]):
             try:
                 with ProcessPoolExecutor(max_workers=min(nworkers, len(pending))) as pool:
-                    fresh = list(pool.map(execute_job, [s for _, s in pending]))
+                    fresh = list(pool.map(executor, [s for _, s in pending]))
             except (BrokenProcessPool, OSError, pickle.PicklingError):
                 fresh = None
         if fresh is None:
-            fresh = [execute_job(s) for _, s in pending]
+            fresh = [executor(s) for _, s in pending]
         for (i, spec), job in zip(pending, fresh):
             results[i] = job
             if cache is not None:

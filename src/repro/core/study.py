@@ -45,7 +45,7 @@ class SystemResult:
     @classmethod
     def from_sim(
         cls, system: str, result: SimResult, traffic: dict[str, float] | None = None
-    ) -> "SystemResult":
+    ) -> SystemResult:
         """Build from the picklable run payload (no machine needed)."""
         return cls(
             system=system,
@@ -65,11 +65,11 @@ class SystemResult:
         )
 
     @classmethod
-    def from_run(cls, machine: Machine, result: SimResult) -> "SystemResult":
+    def from_run(cls, machine: Machine, result: SimResult) -> SystemResult:
         return cls.from_sim(machine.system_name, result, machine.memsys.traffic_summary())
 
     @classmethod
-    def from_job(cls, job: JobResult) -> "SystemResult":
+    def from_job(cls, job: JobResult) -> SystemResult:
         return cls.from_sim(job.system, job.result, job.traffic)
 
 

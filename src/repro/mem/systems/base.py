@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from ...config import MachineConfig
 from ...network.base import Network
-from ...sim.stats import AccessResult
+from ...sim.stats import AccessResult, SyncPoint
 from ..cache import OWNED, SHARED, Cache
 from ..directory import Directory
 
@@ -62,12 +62,20 @@ class BaseMemorySystem:
     def write(self, proc: int, addr: int, now: float) -> AccessResult:
         raise NotImplementedError
 
-    def acquire(self, proc: int, now: float) -> AccessResult:
-        """Acquire semantics: nothing to do in these systems."""
+    def acquire(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
+        """Acquire semantics: nothing to do in these systems.
+
+        ``sync`` identifies the synchronisation operation (lock id,
+        barrier episode, ...); the protocol models ignore it, decorators
+        such as :class:`repro.sim.trace.TracingMemory` record it.
+        """
         return AccessResult(time=now)
 
-    def release(self, proc: int, now: float) -> AccessResult:
+    def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
         raise NotImplementedError
+
+    def sync_note(self, proc: int, now: float, sync: SyncPoint) -> None:
+        """Zero-cost notification of a flag set/wait (tracing hook)."""
 
     # -- decoupled data-flow synchronisation (paper Section 6) ----------
     def publish(self, proc: int, blocks: tuple[int, ...], now: float) -> tuple[float, float]:
@@ -256,7 +264,9 @@ class BaseMemorySystem:
             self.network.transfer(proc, self.home_of(block), 0, now)
         entry.remove_sharer(proc)
 
-    def _insert_line(self, proc: int, block: int, state: int, now: float, ready_at: float = 0.0) -> None:
+    def _insert_line(
+        self, proc: int, block: int, state: int, now: float, ready_at: float = 0.0
+    ) -> None:
         evicted = self.caches[proc].insert(block, state, ready_at)
         if evicted is not None:
             victim_block, victim_line = evicted

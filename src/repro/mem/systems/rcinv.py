@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from ...config import MachineConfig
 from ...network.base import Network
-from ...sim.stats import AccessResult
+from ...sim.stats import AccessResult, SyncPoint
 from ..buffers import StoreBuffer
 from ..cache import OWNED, SHARED
 from .base import BaseMemorySystem
@@ -104,7 +104,7 @@ class RCInv(BaseMemorySystem):
         )
 
     # ------------------------------------------------------------------
-    def release(self, proc: int, now: float) -> AccessResult:
+    def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
         done, _ = self.store_buffers[proc].flush(now)
         # RC: all invalidations must be acknowledged before the release
         # is performed, not just granted by the home.

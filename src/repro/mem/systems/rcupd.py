@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from ...config import MachineConfig
 from ...network.base import Network
-from ...sim.stats import AccessResult
+from ...sim.stats import AccessResult, SyncPoint
 from ..buffers import MergeBuffer, StoreBuffer
 from ..cache import SHARED
 from .base import BaseMemorySystem
@@ -105,7 +105,7 @@ class RCUpd(BaseMemorySystem):
                 ready = dir_entry.avail_time
         return proceed, ready
 
-    def release(self, proc: int, now: float) -> AccessResult:
+    def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
         """Flush the merge buffer, drain the store buffer, and wait for
         every outstanding update fan-out to be acknowledged."""
         t = now

@@ -11,7 +11,7 @@ nothing to flush at releases.
 
 from __future__ import annotations
 
-from ...sim.stats import AccessResult
+from ...sim.stats import AccessResult, SyncPoint
 from ..cache import OWNED, SHARED
 from .base import BaseMemorySystem
 
@@ -48,6 +48,6 @@ class SCInv(BaseMemorySystem):
             time=done + cfg.cache_hit_cycles, write_stall=done - now
         )
 
-    def release(self, proc: int, now: float) -> AccessResult:
+    def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
         # Writes already completed in program order: nothing to drain.
         return AccessResult(time=now)

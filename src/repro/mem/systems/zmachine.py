@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from ...config import MachineConfig
 from ...network.ideal import IdealNetwork
-from ...sim.stats import AccessResult
+from ...sim.stats import AccessResult, SyncPoint
 from ..directory import Directory
 
 
@@ -73,14 +73,17 @@ class ZMachine:
         # The producer never waits: it ships the datum and keeps computing.
         return AccessResult(time=now + self.config.cache_hit_cycles, hit=True)
 
-    def acquire(self, proc: int, now: float) -> AccessResult:
+    def acquire(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
         return AccessResult(time=now)
 
-    def release(self, proc: int, now: float) -> AccessResult:
+    def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
         # Synchronisation on the z-machine is pure process control: the
         # counter mechanism already guarantees consumers see produced
         # values, so there are no buffers to flush (paper Section 3).
         return AccessResult(time=now)
+
+    def sync_note(self, proc: int, now: float, sync: SyncPoint) -> None:
+        """Zero-cost notification of a flag set/wait (tracing hook)."""
 
     def publish(self, proc: int, blocks: tuple[int, ...], now: float) -> tuple[float, float]:
         """Data-flow publication: on the z-machine the counter mechanism

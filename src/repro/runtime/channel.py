@@ -109,7 +109,7 @@ class DataChannel:
         yield FlagSet(self.ack_flag_id, ())
         return values
 
-    def reader(self) -> "ChannelReader":
+    def reader(self) -> ChannelReader:
         return ChannelReader(self)
 
 

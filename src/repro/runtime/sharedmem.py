@@ -47,9 +47,12 @@ class SharedMemory:
         fill: float = 0.0,
         align_line: bool = False,
         pad_to_line: bool = False,
-    ) -> "SharedArray":
+        relaxed: str = "",
+    ) -> SharedArray:
         """Allocate a shared array of ``n`` words."""
-        arr = SharedArray(self, n, name=name, fill=fill, align_line=align_line)
+        arr = SharedArray(
+            self, n, name=name, fill=fill, align_line=align_line, relaxed=relaxed
+        )
         if pad_to_line:
             ls_words = self.config.words_per_line
             slack = (-n) % ls_words
@@ -58,9 +61,15 @@ class SharedMemory:
         self.arrays.append(arr)
         return arr
 
-    def scalar(self, name: str = "", fill: float = 0.0, align_line: bool = True) -> "SharedScalar":
+    def scalar(
+        self,
+        name: str = "",
+        fill: float = 0.0,
+        align_line: bool = True,
+        relaxed: str = "",
+    ) -> SharedScalar:
         """Allocate a single shared word on its own cache line."""
-        s = SharedScalar(self, name=name, fill=fill, align_line=align_line)
+        s = SharedScalar(self, name=name, fill=fill, align_line=align_line, relaxed=relaxed)
         self.arrays.append(s)
         return s
 
@@ -76,7 +85,10 @@ class SharedArray:
     models timing, so the Python heap carries the data (see DESIGN.md).
     """
 
-    __slots__ = ("shm", "base", "n", "name", "_data", "_word")
+    __slots__ = ("shm", "base", "n", "name", "relaxed", "_data", "_word")
+
+    #: Accepted values for the ``relaxed`` access label.
+    _RELAXED_LABELS = ("", "read", "all")
 
     def __init__(
         self,
@@ -85,11 +97,22 @@ class SharedArray:
         name: str = "",
         fill: float = 0.0,
         align_line: bool = False,
+        relaxed: str = "",
     ):
+        if relaxed not in self._RELAXED_LABELS:
+            raise ValueError(
+                f"relaxed must be one of {self._RELAXED_LABELS}, got {relaxed!r}"
+            )
         self.shm = shm
         self.base = shm.alloc_words(n, align_line=align_line)
         self.n = n
         self.name = name
+        #: Labeled-access annotation for the race detector: ``"read"``
+        #: declares the array's *reads* intentionally unsynchronised
+        #: (optimistic polling re-validated under a lock — write/write
+        #: ordering is still checked); ``"all"`` exempts every access.
+        #: Purely an analysis label: simulation timing is unaffected.
+        self.relaxed = relaxed
         self._data = [fill] * n
         self._word = shm.config.word_size
 
@@ -168,8 +191,15 @@ class SharedArray:
 class SharedScalar(SharedArray):
     """A single shared word (convenience wrapper)."""
 
-    def __init__(self, shm: SharedMemory, name: str = "", fill: float = 0.0, align_line: bool = True):
-        super().__init__(shm, 1, name=name, fill=fill, align_line=align_line)
+    def __init__(
+        self,
+        shm: SharedMemory,
+        name: str = "",
+        fill: float = 0.0,
+        align_line: bool = True,
+        relaxed: str = "",
+    ):
+        super().__init__(shm, 1, name=name, fill=fill, align_line=align_line, relaxed=relaxed)
 
     def get(self) -> Generator[Op, None, float]:
         return self.read(0)

@@ -22,12 +22,14 @@ SYNC_HANDLING_CYCLES = 4.0
 
 
 class _LockState:
-    __slots__ = ("home", "holder", "queue")
+    __slots__ = ("home", "holder", "queue", "grants")
 
     def __init__(self, home: int):
         self.home = home
         self.holder: int | None = None
         self.queue: deque[tuple[int, float]] = deque()
+        #: Completed grant count (the lock's "episode" for tracing).
+        self.grants = 0
 
 
 class _BarrierState:
@@ -160,6 +162,7 @@ class SyncManager:
         arrive += SYNC_HANDLING_CYCLES
         if lock.holder is None and not lock.queue:
             lock.holder = proc
+            lock.grants += 1
             return net.transfer(lock.home, proc, self.config.sync_bytes, arrive)
         self.lock_contended += 1
         lock.queue.append((proc, arrive))
@@ -184,6 +187,7 @@ class SyncManager:
             grant_send = max(arrive, req_arrive)
             grant = net.transfer(lock.home, waiter, self.config.sync_bytes, grant_send)
             lock.holder = waiter
+            lock.grants += 1
             self._engine.wake(waiter, grant)
         else:
             lock.holder = None
@@ -191,6 +195,14 @@ class SyncManager:
 
     def holder(self, lock_id: int) -> int | None:
         return self._locks[lock_id].holder
+
+    def lock_episode(self, lock_id: int) -> int:
+        """Completed grant count of ``lock_id`` (trace attribution)."""
+        return self._locks[lock_id].grants
+
+    def barrier_episode(self, barrier_id: int) -> int:
+        """Completed episode count of ``barrier_id`` (trace attribution)."""
+        return self._barriers[barrier_id].episodes
 
     # ------------------------------------------------------------------
     # barrier protocol

@@ -96,7 +96,10 @@ class TaskPool:
 
     def __init__(self, shm: SharedMemory, sync: SyncManager, capacity: int, name: str = "pool"):
         self.queue = CentralQueue(shm, sync, capacity, name=name)
-        self.outstanding = shm.scalar(name=f"{name}.outstanding", fill=0)
+        # Written only under counter_lock; the termination poll in
+        # get_task reads it without the lock (intentional — a stale
+        # nonzero just means one more poll round), hence relaxed reads.
+        self.outstanding = shm.scalar(name=f"{name}.outstanding", fill=0, relaxed="read")
         self.counter_lock = Lock(sync, name=f"{name}.count_lock")
 
     def seed(self, tasks: list[int]) -> None:

@@ -35,19 +35,25 @@ from .events import (
     Stall,
     Write,
 )
-from .stats import AccessResult, ProcStats, SimResult
+from .stats import AccessResult, ProcStats, SimResult, SyncPoint
 
 
 class MemorySystemProtocol(Protocol):
-    """What the engine requires of a memory system model."""
+    """What the engine requires of a memory system model.
+
+    ``sync`` carries the identity of the synchronisation operation that
+    triggered an ``acquire``/``release`` (which lock, barrier episode,
+    ...); memory systems may ignore it, but tracers use it to attribute
+    sync events (see :class:`repro.sim.trace.TracingMemory`).
+    """
 
     def read(self, proc: int, addr: int, now: float) -> AccessResult: ...
 
     def write(self, proc: int, addr: int, now: float) -> AccessResult: ...
 
-    def acquire(self, proc: int, now: float) -> AccessResult: ...
+    def acquire(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult: ...
 
-    def release(self, proc: int, now: float) -> AccessResult: ...
+    def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult: ...
 
 
 class SyncManagerProtocol(Protocol):
@@ -106,6 +112,12 @@ class Engine:
         self._heap: list[tuple[float, int, int]] = []
         self._seq = 0
         self._ops_executed = 0
+        # Episode accessors are optional on the sync manager (test fakes
+        # may not provide them); without them sync events are tagged with
+        # episode 0, which only degrades trace attribution.
+        self._lock_episode = getattr(syncmgr, "lock_episode", lambda _lock_id: 0)
+        self._barrier_episode = getattr(syncmgr, "barrier_episode", lambda _barrier_id: 0)
+        self._flag_epoch = getattr(syncmgr, "flag_epoch", lambda _flag_id: 0)
         syncmgr.bind(self)
 
     # ------------------------------------------------------------------
@@ -207,7 +219,8 @@ class Engine:
                 stats.writes += 1
                 self._charge(stats, thread, now, res)
             elif cls is Acquire:
-                res = self.memsys.acquire(thread.tid, now)
+                sync = SyncPoint("lock", op.lock_id, self._lock_episode(op.lock_id))
+                res = self.memsys.acquire(thread.tid, now, sync)
                 self._charge(stats, thread, now, res)
                 stats.acquires += 1
                 grant = self.syncmgr.acquire(thread.tid, op.lock_id, thread.time)
@@ -217,14 +230,18 @@ class Engine:
                 stats.sync_wait += max(0.0, grant - thread.time)
                 thread.time = max(thread.time, grant)
             elif cls is Release:
-                res = self.memsys.release(thread.tid, now)
+                sync = SyncPoint("lock", op.lock_id, self._lock_episode(op.lock_id))
+                res = self.memsys.release(thread.tid, now, sync)
                 self._charge(stats, thread, now, res)
                 stats.releases += 1
                 done = self.syncmgr.release(thread.tid, op.lock_id, thread.time)
                 stats.sync_wait += max(0.0, done - thread.time)
                 thread.time = max(thread.time, done)
             elif cls is BarrierWait:
-                res = self.memsys.release(thread.tid, now)
+                sync = SyncPoint(
+                    "barrier", op.barrier_id, self._barrier_episode(op.barrier_id)
+                )
+                res = self.memsys.release(thread.tid, now, sync)
                 self._charge(stats, thread, now, res)
                 stats.barriers += 1
                 depart = self.syncmgr.barrier_wait(thread.tid, op.barrier_id, thread.time)
@@ -234,7 +251,7 @@ class Engine:
                 stats.sync_wait += max(0.0, depart - thread.time)
                 thread.time = max(thread.time, depart)
             elif cls is Fence:
-                res = self.memsys.release(thread.tid, now)
+                res = self.memsys.release(thread.tid, now, SyncPoint("fence", -1))
                 self._charge(stats, thread, now, res)
             elif cls is ReadNB:
                 res = self.memsys.read(thread.tid, op.addr, now)
@@ -251,11 +268,22 @@ class Engine:
                 thread.time = now + issue
                 thread.feedback = (thread.time, res)
             elif cls is FlagSet:
+                note = getattr(self.memsys, "sync_note", None)
+                if note is not None:
+                    # The epoch this set establishes is the current one + 1.
+                    note(
+                        thread.tid,
+                        now,
+                        SyncPoint("flag_set", op.flag_id, self._flag_epoch(op.flag_id) + 1),
+                    )
                 proceed, data_ready = self.memsys.publish(thread.tid, op.blocks, now)
                 done = self.syncmgr.flag_set(thread.tid, op.flag_id, proceed, data_ready)
                 stats.busy += max(0.0, done - now)
                 thread.time = max(now, done)
             elif cls is FlagWait:
+                note = getattr(self.memsys, "sync_note", None)
+                if note is not None:
+                    note(thread.tid, now, SyncPoint("flag_wait", op.flag_id, op.epoch))
                 depart = self.syncmgr.flag_wait(thread.tid, op.flag_id, op.epoch, now)
                 if depart is None:
                     self._block(thread)

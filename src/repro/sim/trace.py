@@ -16,14 +16,22 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from .stats import AccessResult
+from .stats import AccessResult, SyncPoint
 
 
 @dataclass
 class TraceEvent:
-    """One traced memory-system operation."""
+    """One traced memory-system operation.
 
-    kind: str  # "read" | "write" | "acquire" | "release"
+    For synchronisation operations the ``sync_*`` fields identify the
+    object involved: ``sync_kind`` is ``"lock"``, ``"barrier"``,
+    ``"flag_set"``, ``"flag_wait"`` or ``"fence"``; ``sync_id`` is the
+    object's id within its kind; ``episode`` is the grant/episode/epoch
+    counter of that object at the time of the operation.  They are
+    ``None`` for plain data accesses.
+    """
+
+    kind: str  # "read" | "write" | "acquire" | "release" | "flag_set" | "flag_wait"
     proc: int
     addr: int | None
     issue: float
@@ -32,6 +40,9 @@ class TraceEvent:
     write_stall: float
     buffer_flush: float
     hit: bool
+    sync_kind: str | None = None
+    sync_id: int | None = None
+    episode: int | None = None
 
     @property
     def latency(self) -> float:
@@ -57,14 +68,27 @@ class TracingMemory:
 
     # -- construction ---------------------------------------------------
     @classmethod
-    def attach(cls, machine, max_events: int = 100_000) -> "TracingMemory":
-        """Interpose a tracer between a Machine's engine and memory."""
-        tracer = cls(machine.memsys, max_events)
+    def attach(cls, machine, max_events: int = 100_000) -> TracingMemory:
+        """Interpose a tracer between a Machine's engine and memory.
+
+        Wraps whatever the engine currently dispatches to, so tracers
+        compose with other decorators (e.g. a ``CheckedMemorySystem``
+        attached first keeps auditing underneath the tracer).
+        """
+        tracer = cls(machine.engine.memsys, max_events)
         machine.engine.memsys = tracer
         return tracer
 
     # -- memory-system protocol ------------------------------------------
-    def _record(self, kind: str, proc: int, addr: int | None, issue: float, res: AccessResult) -> AccessResult:
+    def _record(
+        self,
+        kind: str,
+        proc: int,
+        addr: int | None,
+        issue: float,
+        res: AccessResult,
+        sync: SyncPoint | None = None,
+    ) -> AccessResult:
         if len(self.events) < self.max_events:
             self.events.append(
                 TraceEvent(
@@ -77,6 +101,9 @@ class TracingMemory:
                     write_stall=res.write_stall,
                     buffer_flush=res.buffer_flush,
                     hit=res.hit,
+                    sync_kind=sync.kind if sync is not None else None,
+                    sync_id=sync.sync_id if sync is not None else None,
+                    episode=sync.episode if sync is not None else None,
                 )
             )
         else:
@@ -95,11 +122,20 @@ class TracingMemory:
     def write(self, proc: int, addr: int, now: float) -> AccessResult:
         return self._record("write", proc, addr, now, self.inner.write(proc, addr, now))
 
-    def acquire(self, proc: int, now: float) -> AccessResult:
-        return self._record("acquire", proc, None, now, self.inner.acquire(proc, now))
+    def acquire(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
+        return self._record(
+            "acquire", proc, None, now, self.inner.acquire(proc, now, sync=sync), sync=sync
+        )
 
-    def release(self, proc: int, now: float) -> AccessResult:
-        return self._record("release", proc, None, now, self.inner.release(proc, now))
+    def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
+        return self._record(
+            "release", proc, None, now, self.inner.release(proc, now, sync=sync), sync=sync
+        )
+
+    def sync_note(self, proc: int, now: float, sync: SyncPoint) -> None:
+        """Record a zero-cost synchronisation event (flag set/wait)."""
+        self.inner.sync_note(proc, now, sync)
+        self._record(sync.kind, proc, None, now, AccessResult(time=now, hit=True), sync=sync)
 
     def __getattr__(self, name: str):
         # Delegate everything else (traffic_summary, caches, ...) inward.

@@ -13,6 +13,30 @@ PAPER_SYSTEMS = ["z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp"]
 
 
 @pytest.fixture
+def checked_machine():
+    """Attach a :class:`CheckedMemorySystem` to machines under test.
+
+    Yields an ``attach(machine)`` callable; at teardown every attached
+    checker runs its final audit and the test fails on any protocol
+    invariant violation.  Opt in from protocol/integration tests to get
+    directory/cache/buffer auditing for free.
+    """
+    from repro.analysis.checkers import CheckedMemorySystem
+
+    attached: list[CheckedMemorySystem] = []
+
+    def _attach(machine, **kwargs) -> CheckedMemorySystem:
+        checker = CheckedMemorySystem.attach(machine, **kwargs)
+        attached.append(checker)
+        return checker
+
+    yield _attach
+    for checker in attached:
+        checker.final_check()
+        assert checker.clean, checker.describe()
+
+
+@pytest.fixture
 def cfg4() -> MachineConfig:
     return MachineConfig(nprocs=4)
 

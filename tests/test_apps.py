@@ -12,7 +12,7 @@ from repro.config import MachineConfig
 from repro.apps import BarnesHut, Cholesky, IntegerSort, Maxflow
 from repro.apps.base import run_on
 from repro.apps.intsort import bucket_stable_ranks
-from repro.workloads.graphs import random_flow_network, reference_max_flow
+from repro.workloads.graphs import reference_max_flow
 from repro.workloads.matrices import random_spd
 
 PAPER_SYSTEMS = ["z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp"]

@@ -1,0 +1,390 @@
+"""Correctness-analysis subsystem: race detector + invariant checker."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.checkers import (
+    CheckSpec,
+    CheckedMemorySystem,
+    detect_races,
+    execute_check,
+    run_checks,
+)
+from repro.apps.factory import AppFactory
+from repro.config import MachineConfig
+from repro.core.parallel import ResultCache
+from repro.runtime import Barrier, Lock, Machine
+from repro.runtime.channel import DataChannel
+from repro.sim.events import Compute
+from repro.sim.stats import AccessResult
+from repro.sim.trace import TracingMemory
+
+
+def run_detected(worker, nprocs=2, system="RCinv", setup=None):
+    """Run ``worker`` traced and return the race report."""
+    machine = Machine(MachineConfig(nprocs=nprocs), system)
+    state = setup(machine) if setup else None
+    tracer = TracingMemory.attach(machine)
+    machine.run(lambda ctx: worker(ctx, machine, state))
+    return detect_races(tracer.events, nprocs, shm=machine.shm)
+
+
+class TestRaceDetector:
+    def test_locked_counter_is_clean(self):
+        def setup(machine):
+            return machine.shm.scalar("ctr"), Lock(machine.sync)
+
+        def worker(ctx, machine, state):
+            ctr, lock = state
+            for _ in range(3):
+                yield from lock.acquire()
+                yield from ctr.incr(1)
+                yield from lock.release()
+                yield Compute(25.0)
+
+        report = run_detected(worker, setup=setup)
+        assert report.clean
+        assert report.accesses > 0
+        assert report.sync_events > 0
+
+    def test_unlocked_counter_races(self):
+        def setup(machine):
+            return machine.shm.scalar("ctr")
+
+        def worker(ctx, machine, ctr):
+            for _ in range(3):
+                yield from ctr.incr(1)
+                yield Compute(25.0)
+
+        report = run_detected(worker, setup=setup)
+        assert not report.clean
+        race = report.races[0]
+        assert race.array == "ctr"
+        assert race.element == 0
+        assert {race.first.kind, race.second.kind} <= {"read", "write"}
+        assert race.first.proc != race.second.proc
+
+    def test_barrier_orders_producer_and_consumer(self):
+        def setup(machine):
+            return machine.shm.array(8, "data", align_line=True), Barrier(machine.sync)
+
+        def worker(ctx, machine, state):
+            data, barrier = state
+            if ctx.pid == 0:
+                for i in range(8):
+                    yield from data.write(i, i)
+            yield from barrier.wait()
+            if ctx.pid == 1:
+                for i in range(8):
+                    yield from data.read(i)
+
+        report = run_detected(worker, setup=setup)
+        assert report.clean
+
+    def test_missing_barrier_races(self):
+        def setup(machine):
+            return machine.shm.array(8, "data", align_line=True)
+
+        def worker(ctx, machine, data):
+            if ctx.pid == 0:
+                for i in range(8):
+                    yield from data.write(i, i)
+            else:
+                yield Compute(5000.0)
+                for i in range(8):
+                    yield from data.read(i)
+
+        report = run_detected(worker, setup=setup)
+        assert not report.clean
+        kinds = {(r.first.kind, r.second.kind) for r in report.races}
+        assert ("write", "read") in kinds or ("read", "write") in kinds
+
+    def test_flag_channel_is_clean(self):
+        def setup(machine):
+            return DataChannel(machine, nwords=8, consumers=1)
+
+        def worker(ctx, machine, chan):
+            if ctx.pid == 0:
+                for epoch in range(3):
+                    yield from chan.produce([epoch] * 8)
+            else:
+                reader = chan.reader()
+                for _ in range(3):
+                    yield from reader.next()
+
+        report = run_detected(worker, setup=setup)
+        assert report.clean
+        assert report.sync_events > 0
+
+    def test_relaxed_read_label_suppresses_read_races(self):
+        def setup(machine):
+            return machine.shm.array(4, "poll", align_line=True, relaxed="read")
+
+        def worker(ctx, machine, poll):
+            if ctx.pid == 0:
+                yield from poll.write(0, 1)
+            else:
+                yield Compute(500.0)
+                yield from poll.read(0)
+
+        report = run_detected(worker, setup=setup)
+        assert report.clean
+        assert report.relaxed_skipped > 0
+
+    def test_relaxed_read_still_reports_write_write(self):
+        def setup(machine):
+            return machine.shm.array(4, "poll", align_line=True, relaxed="read")
+
+        def worker(ctx, machine, poll):
+            yield from poll.write(0, ctx.pid)
+
+        report = run_detected(worker, setup=setup)
+        assert not report.clean
+        assert report.races[0].first.kind == "write"
+        assert report.races[0].second.kind == "write"
+
+    def test_relaxed_all_suppresses_everything(self):
+        def setup(machine):
+            return machine.shm.array(4, "free", align_line=True, relaxed="all")
+
+        def worker(ctx, machine, free):
+            yield from free.write(0, ctx.pid)
+            yield from free.read(0)
+
+        report = run_detected(worker, setup=setup)
+        assert report.clean
+        assert report.relaxed_skipped > 0
+
+    def test_invalid_relaxed_label_rejected(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        with pytest.raises(ValueError):
+            machine.shm.array(4, "bad", relaxed="sometimes")
+
+    def test_without_shm_reports_raw_addresses(self):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        arr = machine.shm.array(4, "data", align_line=True)
+        tracer = TracingMemory.attach(machine)
+
+        def worker(ctx):
+            yield from arr.write(0, ctx.pid)
+
+        machine.run(worker)
+        report = detect_races(tracer.events, 2, shm=None)
+        assert not report.clean
+        assert report.races[0].array.startswith("addr@")
+
+
+class _FakeMem:
+    """Minimal memory system returning whatever results a test injects."""
+
+    line_size = 32
+
+    def __init__(self, result):
+        self.result = result
+
+    def block_of(self, addr):
+        return addr // self.line_size
+
+    def read(self, proc, addr, now):
+        return self.result
+
+    def write(self, proc, addr, now):
+        return self.result
+
+    def acquire(self, proc, now, sync=None):
+        return self.result
+
+    def release(self, proc, now, sync=None):
+        return self.result
+
+    def sync_note(self, proc, now, sync):
+        pass
+
+
+class TestInvariantChecker:
+    def run_checked(self, system="RCinv", nprocs=4):
+        machine = Machine(MachineConfig(nprocs=nprocs), system)
+        data = machine.shm.array(32, "data", align_line=True)
+        lock = Lock(machine.sync)
+        checked = CheckedMemorySystem.attach(machine)
+
+        def worker(ctx):
+            for i in range(8):
+                yield from data.write(ctx.pid * 8 + i, ctx.pid)
+            yield from lock.acquire()
+            yield from data.read(0)
+            yield from lock.release()
+
+        machine.run(worker)
+        return machine, checked
+
+    @pytest.mark.parametrize("system", ["RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv", "z-mc"])
+    def test_real_protocols_are_clean(self, system):
+        _, checked = self.run_checked(system=system)
+        checked.final_check()
+        assert checked.clean, checked.describe()
+        assert checked.checks_run > 0
+
+    def test_mutated_presence_bits_caught(self):
+        machine, checked = self.run_checked()
+        inner = checked.inner
+        # Find a block some cache currently holds, then corrupt the
+        # directory by clearing its presence bits behind the protocol's
+        # back — the audit must notice the inconsistency.
+        for block in inner.directory.blocks():
+            holders = [
+                p
+                for p, cache in enumerate(inner.caches)
+                if cache.peek(block) is not None and cache.peek(block).inval_at is None
+            ]
+            if holders:
+                inner.directory.entry(block).sharers = 0
+                inner.directory.entry(block).owner = None
+                break
+        else:
+            pytest.fail("no currently-cached block to corrupt")
+        checked.full_check(now=1e9)
+        assert not checked.clean
+        assert any(v.rule == "presence-bits" for v in checked.violations)
+
+    def test_mutated_directory_owner_caught(self):
+        machine, checked = self.run_checked()
+        inner = checked.inner
+        block = inner.directory.blocks()[0]
+        entry = inner.directory.entry(block)
+        # Point the owner field at a processor with no OWNED copy.
+        entry.owner = machine.config.nprocs - 1
+        inner.caches[entry.owner].invalidate_at(block, 0.0)
+        checked.full_check(now=1e9)
+        assert not checked.clean
+        assert any(v.rule == "directory-owner" for v in checked.violations)
+
+    def test_completion_before_issue_caught(self):
+        checked = CheckedMemorySystem(_FakeMem(AccessResult(time=5.0)))
+        checked.read(0, 0, now=10.0)
+        assert any(v.rule == "completion-before-issue" for v in checked.violations)
+
+    def test_negative_stall_caught(self):
+        checked = CheckedMemorySystem(_FakeMem(AccessResult(time=20.0, read_stall=-3.0)))
+        checked.read(0, 0, now=10.0)
+        assert any(v.rule == "negative-stall" for v in checked.violations)
+
+    def test_stall_exceeding_latency_caught(self):
+        checked = CheckedMemorySystem(_FakeMem(AccessResult(time=11.0, write_stall=50.0)))
+        checked.write(0, 0, now=10.0)
+        assert any(v.rule == "stall-exceeds-latency" for v in checked.violations)
+
+    def test_duplicate_violations_deduplicated(self):
+        checked = CheckedMemorySystem(_FakeMem(AccessResult(time=20.0, read_stall=-3.0)))
+        for _ in range(5):
+            checked.read(0, 0, now=10.0)
+        assert len(checked.violations) == 1
+        assert checked.dropped == 4
+
+    def test_transparent_timing(self):
+        def run(check):
+            machine = Machine(MachineConfig(nprocs=2), "RCupd")
+            arr = machine.shm.array(8, "a")
+            if check:
+                CheckedMemorySystem.attach(machine)
+
+            def worker(ctx):
+                yield from arr.write(ctx.pid, ctx.pid)
+                yield Compute(1000)
+                yield from arr.read(1 - ctx.pid)
+
+            return machine.run(worker).total_time
+
+        assert run(False) == run(True)
+
+
+class TestCheckedFixture:
+    def test_fixture_attaches_and_audits(self, checked_machine):
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        arr = machine.shm.array(8, "a", align_line=True)
+        checked_machine(machine)
+
+        def worker(ctx):
+            yield from arr.write(ctx.pid, ctx.pid)
+
+        machine.run(worker)
+        # teardown asserts the invariants held
+
+
+class TestRunner:
+    SMOKE = MachineConfig(nprocs=4)
+
+    def test_racy_demo_flagged_end_to_end(self):
+        outcome = execute_check(CheckSpec(AppFactory("RacyDemo"), "RCinv", self.SMOKE))
+        assert not outcome.clean
+        assert outcome.races.total > 0
+        assert any(r.array == "racy.data" for r in outcome.races.races)
+        assert outcome.violation_total == 0
+
+    def test_clean_app_end_to_end(self):
+        spec = CheckSpec(AppFactory("IS", n_keys=128, nbuckets=16), "RCupd", self.SMOKE)
+        outcome = execute_check(spec)
+        assert outcome.clean, outcome.describe()
+        assert outcome.events > 0
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = CheckSpec(AppFactory("RacyDemo"), "RCinv", self.SMOKE)
+        first = run_checks([spec], jobs=1, cache=cache)
+        second = run_checks([spec], jobs=1, cache=cache)
+        assert not first[0].cached
+        assert second[0].cached
+        assert second[0].races.total == first[0].races.total
+
+    def test_spec_fingerprint_distinguishes(self):
+        a = CheckSpec(AppFactory("RacyDemo"), "RCinv", self.SMOKE)
+        b = CheckSpec(AppFactory("RacyDemo"), "RCupd", self.SMOKE)
+        c = CheckSpec(AppFactory("RacyDemo"), "RCinv", self.SMOKE, max_events=7)
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+
+
+class TestCheckCLI:
+    def test_racy_demo_exits_nonzero(self, capsys):
+        code = main(
+            ["--nprocs", "4", "check", "--app", "RacyDemo", "--systems", "RCinv", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "racy.data" in out
+        assert "unordered with" in out
+        assert "FAIL" in out
+
+    def test_clean_app_exits_zero(self, capsys):
+        code = main(
+            [
+                "--nprocs", "4", "check", "--app", "IS", "--systems", "RCinv",
+                "--scale", "smoke", "--no-cache",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OK" in out
+
+    def test_bench_out_written(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_check.json"
+        code = main(
+            [
+                "--nprocs", "4", "check", "--app", "IS", "--systems", "RCinv",
+                "--scale", "smoke", "--no-cache", "--bench-out", str(out_file),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["bench"] == "correctness-check"
+        assert doc["n_runs"] == 1
+        assert doc["wall_s"] >= 0
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--app", "NoSuchApp", "--no-cache"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--app", "IS", "--systems", "bogus", "--no-cache"])

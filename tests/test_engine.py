@@ -18,10 +18,10 @@ class FreeMemory:
     def write(self, proc, addr, now):
         return AccessResult(time=now + 1, hit=True)
 
-    def acquire(self, proc, now):
+    def acquire(self, proc, now, sync=None):
         return AccessResult(time=now)
 
-    def release(self, proc, now):
+    def release(self, proc, now, sync=None):
         return AccessResult(time=now)
 
 
@@ -183,7 +183,7 @@ class TestAccounting:
             def write(self, proc, addr, now):
                 return AccessResult(time=now + 20, write_stall=15.0)
 
-            def release(self, proc, now):
+            def release(self, proc, now, sync=None):
                 return AccessResult(time=now + 7, buffer_flush=7.0)
 
         eng = Engine(MachineConfig(nprocs=1), StallMem(), NullSync())

@@ -6,8 +6,6 @@ out of global time order — observable as z-machine read stalls larger
 than the link latency L.  These tests pin the invariants.
 """
 
-import pytest
-
 from repro.config import MachineConfig
 from repro.mem.systems.zmachine import ZMachine
 from repro.runtime import Barrier, Lock, Machine, TaskPool

@@ -1,7 +1,5 @@
 """RCcomp (competitive update) and RCadapt (adaptive selective-write)."""
 
-import pytest
-
 from repro.config import MachineConfig
 from repro.mem.directory import NORMAL, SPECIAL
 from repro.mem.systems import default_network

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import MachineConfig
-from repro.mem.cache import OWNED, SHARED
+from repro.mem.cache import OWNED
 from repro.mem.systems import default_network
 from repro.mem.systems.rcinv import RCInv
 
