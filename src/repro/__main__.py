@@ -7,8 +7,11 @@ study    run one application (or all) across memory systems and print
 table1   run the four applications on the z-machine and print Table 1
 fig1     print the Figure 1 inherent-cost-vs-overhead scenario
 claims   evaluate the paper's qualitative claims on fresh runs
+trace    run one application with the tracer attached and export a
+         Perfetto/Chrome trace (and optionally interval metrics)
 bench    time serial vs parallel vs cached execution of the full study
-         set and write a BENCH_parallel.json perf baseline
+         set and write a BENCH_parallel.json perf baseline (with
+         ``--trace``: measure observability overhead → BENCH_trace.json)
 check    run the correctness analyses (happens-before race detection +
          protocol invariant checking) over an apps × systems matrix;
          exits nonzero on any finding
@@ -18,16 +21,21 @@ cache    show or clear the on-disk result cache
 ``study``, ``table1``, ``fig1`` and ``claims`` accept ``--jobs N`` to
 fan independent runs out over N worker processes (0 = one per CPU) and
 ``--no-cache`` to bypass the on-disk result cache; see
-docs/performance.md.
+docs/performance.md.  ``study``, ``table1``, ``claims`` and ``trace``
+accept ``--manifest PATH`` to record a structured run manifest; the
+global ``--verbose``/``--quiet``/``--json`` flags control diagnostics
+(see docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
-from . import MachineConfig, figure1_scenario, run_study, table1
+from . import MachineConfig, figure1_scenario, run_study
 from .analysis import format_claims, format_figure, format_table1, standard_claims
 from .analysis.checkers import (
     CHECK_BENCH_FILE,
@@ -39,12 +47,36 @@ from .analysis.checkers import (
 from .analysis.report import studies_to_csv, studies_to_json, table1_to_csv
 from .apps import SCALES, default_scale, preset
 from .apps.factory import AppFactory
-from .core.bench import BENCH_FILE, format_bench, run_bench
+from .core.bench import (
+    BENCH_FILE,
+    TRACE_BENCH_FILE,
+    format_bench,
+    format_trace_bench,
+    run_bench,
+    run_trace_bench,
+)
 from .core.parallel import ResultCache, parallel_map
+from .core.table1 import table1_with_manifest
 from .mem.systems import PAPER_SYSTEMS, SYSTEM_REGISTRY
+from .obs import MetricsCollector, configure, get_logger, to_perfetto, write_trace
+from .obs.manifest import build_manifest, write_manifest
+from .runtime.context import Machine
+from .sim.trace import TracingMemory
 
 #: factory + reuse expectation per application, at moderate default scale.
 APP_FACTORIES = default_scale()
+
+#: Friendly aliases accepted by ``repro trace`` in addition to registry names.
+TRACE_APP_ALIASES = {
+    "intsort": "IS",
+    "is": "IS",
+    "cholesky": "Cholesky",
+    "maxflow": "Maxflow",
+    "nbody": "Nbody",
+    "barneshut": "Nbody",
+    "racy": "RacyDemo",
+    "racydemo": "RacyDemo",
+}
 
 
 def _config(args: argparse.Namespace) -> MachineConfig:
@@ -66,7 +98,22 @@ def _selected_apps(name: str) -> dict:
     return {name: APP_FACTORIES[name]}
 
 
+def _emit_manifest(path: str | None, manifests: list[dict], kind: str) -> None:
+    """Write one manifest (or a wrapper around several) when requested."""
+    if not path:
+        return
+    if len(manifests) == 1:
+        doc = manifests[0]
+    else:
+        doc = dict(manifests[0])  # share the header (schema/host/fingerprint)
+        doc["kind"] = kind
+        doc["manifests"] = manifests
+    write_manifest(path, doc)
+    get_logger().info(f"manifest written to {path}")
+
+
 def cmd_study(args: argparse.Namespace) -> int:
+    log = get_logger()
     cfg = _config(args)
     systems = tuple(args.systems) if args.systems else PAPER_SYSTEMS
     for s in systems:
@@ -75,26 +122,30 @@ def cmd_study(args: argparse.Namespace) -> int:
     cache = _cache(args)
     studies = []
     for name, (factory, _) in _selected_apps(args.app).items():
+        log.debug(f"running study: {name}", systems=",".join(systems))
         studies.append(run_study(factory, cfg, systems=systems, jobs=args.jobs, cache=cache))
     if args.format == "csv":
-        print(studies_to_csv(studies), end="")
+        log.out(studies_to_csv(studies).rstrip("\n"))
     elif args.format == "json":
-        print(studies_to_json(studies))
+        log.out(studies_to_json(studies))
     else:
         for study in studies:
-            print(format_figure(study))
-            print()
+            log.out(format_figure(study))
+            log.out()
+    _emit_manifest(args.manifest, [s.manifest for s in studies], "study-set")
     return 0
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
+    log = get_logger()
     cfg = _config(args)
     factories = {k: f for k, (f, _) in _selected_apps(args.app).items()}
-    rows = table1(factories, cfg, jobs=args.jobs, cache=_cache(args))
+    rows, manifest = table1_with_manifest(factories, cfg, jobs=args.jobs, cache=_cache(args))
     if args.format == "csv":
-        print(table1_to_csv(rows), end="")
+        log.out(table1_to_csv(rows).rstrip("\n"))
     else:
-        print(format_table1(rows))
+        log.out(format_table1(rows))
+    _emit_manifest(args.manifest, [manifest], "table1")
     return 0
 
 
@@ -108,11 +159,12 @@ def _fig1_one(arg: tuple[str, MachineConfig]):
 
 
 def cmd_fig1(args: argparse.Namespace) -> int:
+    log = get_logger()
     cfg = _config(args)
-    print(f"{'system':8s} {'early stall':>12s} {'class':>10s} {'late stall':>12s} {'class':>10s}")
+    log.out(f"{'system':8s} {'early stall':>12s} {'class':>10s} {'late stall':>12s} {'class':>10s}")
     timelines = parallel_map(_fig1_one, [(s, cfg) for s in FIG1_SYSTEMS], jobs=args.jobs)
     for t in timelines:
-        print(
+        log.out(
             f"{t.system:8s} {t.early_read.stall:12.1f} {t.early_kind:>10s} "
             f"{t.late_read.stall:12.1f} {t.late_kind:>10s}"
         )
@@ -120,26 +172,102 @@ def cmd_fig1(args: argparse.Namespace) -> int:
 
 
 def cmd_claims(args: argparse.Namespace) -> int:
+    log = get_logger()
     cfg = _config(args)
     cache = _cache(args)
     all_hold = True
+    manifests = []
     for name, (factory, reuse) in _selected_apps(args.app).items():
         study = run_study(factory, cfg, jobs=args.jobs, cache=cache)
+        manifests.append(study.manifest)
         checks = standard_claims(study, expect_reuse=reuse)
-        print(f"== {name}")
-        print(format_claims(checks))
+        log.out(f"== {name}")
+        log.out(format_claims(checks))
         all_hold &= all(c.holds for c in checks)
+    _emit_manifest(args.manifest, manifests, "claims")
     return 0 if all_hold else 1
 
 
+def _resolve_trace_app(name: str) -> tuple[str, AppFactory]:
+    """Resolve a ``repro trace`` app argument (registry name or alias)."""
+    canonical = TRACE_APP_ALIASES.get(name.lower(), name)
+    if canonical in APP_FACTORIES:
+        return canonical, APP_FACTORIES[canonical][0]
+    if canonical == "RacyDemo":
+        return canonical, AppFactory("RacyDemo")
+    choices = ", ".join([*APP_FACTORIES, "RacyDemo", *sorted(TRACE_APP_ALIASES)])
+    raise SystemExit(f"unknown application {name!r}; choose from {choices}")
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    log = get_logger()
+    cfg = _config(args)
+    if args.system not in SYSTEM_REGISTRY:
+        raise SystemExit(
+            f"unknown memory system {args.system!r}; choose from "
+            f"{', '.join(sorted(SYSTEM_REGISTRY))}"
+        )
+    name, factory = _resolve_trace_app(args.app)
+    app = factory()
+    machine = Machine(cfg, args.system)
+    app.setup(machine)
+    tracer = TracingMemory.attach(machine, max_events=args.max_events)
+    collector = (
+        MetricsCollector.attach(machine, interval=args.interval) if args.metrics else None
+    )
+    log.debug(f"tracing {name} on {args.system}", max_events=args.max_events)
+    t0 = time.perf_counter()
+    result = machine.run(app.worker)
+    wall = time.perf_counter() - t0
+    log.info(
+        f"{name} on {args.system}: {result.ops} ops, "
+        f"{result.total_time:.0f} simulated cycles ({wall:.2f}s wall)"
+    )
+    if tracer.dropped:
+        log.warn(f"{tracer.dropped} trace event(s) dropped; raise --max-events")
+    doc = to_perfetto(
+        tracer, cfg.nprocs, total_time=result.total_time, app=name, system=args.system
+    )
+    write_trace(args.out, doc)
+    log.out(f"trace written to {args.out} ({len(doc['traceEvents'])} events)")
+    if collector is not None:
+        metrics = collector.to_dict()
+        Path(args.metrics).write_text(json.dumps(metrics, indent=2) + "\n")
+        log.out(f"metrics written to {args.metrics} ({len(metrics['buckets'])} buckets)")
+    if args.manifest:
+        manifest = build_manifest(
+            "trace",
+            config=cfg,
+            app=name,
+            systems=[args.system],
+            wall_seconds=wall,
+            extra={
+                "events_simulated": result.ops,
+                "events_per_sec": round(result.ops / wall, 1) if wall > 0 else None,
+                "trace_events": len(doc["traceEvents"]),
+                "trace_dropped": tracer.dropped,
+            },
+        )
+        _emit_manifest(args.manifest, [manifest], "trace")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
+    log = get_logger()
+    if args.trace:
+        out = args.out if args.out != BENCH_FILE else TRACE_BENCH_FILE
+        doc = run_trace_bench(scale=args.scale, out=out)
+        log.out(format_trace_bench(doc))
+        log.out(f"trajectory written to {out}")
+        return 0
     doc = run_bench(scale=args.scale, jobs=args.jobs or None, out=args.out)
-    print(format_bench(doc))
-    print(f"trajectory written to {args.out}")
+    log.out(format_bench(doc))
+    log.out(f"trajectory written to {args.out}")
     return 0
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    log = get_logger()
     cfg = _config(args)
     systems = tuple(args.systems) if args.systems else tuple(sorted(SYSTEM_REGISTRY))
     for s in systems:
@@ -161,35 +289,37 @@ def cmd_check(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     outcomes = run_checks(specs, jobs=args.jobs, cache=_cache(args))
     wall = time.perf_counter() - t0
-    print(format_outcomes(outcomes))
+    log.out(format_outcomes(outcomes))
     if args.bench_out:
         doc = write_check_bench(
             outcomes, wall, jobs=args.jobs, scale=args.scale, out=args.bench_out
         )
-        print(f"checker timing written to {args.bench_out} ({doc['wall_s']}s wall)")
+        log.out(f"checker timing written to {args.bench_out} ({doc['wall_s']}s wall)")
     findings = sum(o.races.total + o.violation_total for o in outcomes)
     if findings:
-        print(f"FAIL: {findings} finding(s) across {len(outcomes)} run(s)")
+        log.out(f"FAIL: {findings} finding(s) across {len(outcomes)} run(s)")
         return 1
-    print(f"OK: {len(outcomes)} run(s), no races, no invariant violations")
+    log.out(f"OK: {len(outcomes)} run(s), no races, no invariant violations")
     return 0
 
 
 def cmd_systems(args: argparse.Namespace) -> int:
-    print("memory systems:", ", ".join(sorted(SYSTEM_REGISTRY)))
-    print("applications:  ", ", ".join(APP_FACTORIES))
+    log = get_logger()
+    log.out(f"memory systems: {', '.join(sorted(SYSTEM_REGISTRY))}")
+    log.out(f"applications:   {', '.join(APP_FACTORIES)}")
     return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
+    log = get_logger()
     cache = ResultCache.default()
     if args.clear:
-        print(f"removed {cache.clear()} cached result(s) from {cache.directory}")
+        log.out(f"removed {cache.clear()} cached result(s) from {cache.directory}")
         return 0
     entries = list(cache.directory.glob("*.pkl")) if cache.directory.is_dir() else []
     size = sum(p.stat().st_size for p in entries)
-    print(f"cache directory: {cache.directory}")
-    print(f"entries: {len(entries)} ({size / 1024:.1f} KiB)")
+    log.out(f"cache directory: {cache.directory}")
+    log.out(f"entries: {len(entries)} ({size / 1024:.1f} KiB)")
     return 0
 
 
@@ -214,6 +344,15 @@ def _add_parallel_flags(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_manifest_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write a structured run manifest (JSON) to PATH",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,6 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(ICPP 1995 reproduction)",
     )
     parser.add_argument("--nprocs", type=int, default=16, help="processor count (default 16)")
+    parser.add_argument(
+        "--verbose", action="store_true", help="show debug diagnostics on stderr"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress info diagnostics (warnings still shown)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit structured JSON log records on stdout"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_study = sub.add_parser("study", help="run an overhead study")
@@ -228,12 +376,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument("--systems", nargs="*", help="memory systems (default: paper's five)")
     p_study.add_argument("--format", choices=("text", "csv", "json"), default="text")
     _add_parallel_flags(p_study)
+    _add_manifest_flag(p_study)
     p_study.set_defaults(func=cmd_study)
 
     p_t1 = sub.add_parser("table1", help="regenerate Table 1 (z-machine)")
     p_t1.add_argument("--app", default="all")
     p_t1.add_argument("--format", choices=("text", "csv"), default="text")
     _add_parallel_flags(p_t1)
+    _add_manifest_flag(p_t1)
     p_t1.set_defaults(func=cmd_table1)
 
     p_f1 = sub.add_parser("fig1", help="Figure 1 scenario across systems")
@@ -243,7 +393,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_claims = sub.add_parser("claims", help="evaluate the paper's qualitative claims")
     p_claims.add_argument("--app", default="all")
     _add_parallel_flags(p_claims)
+    _add_manifest_flag(p_claims)
     p_claims.set_defaults(func=cmd_claims)
+
+    p_trace = sub.add_parser(
+        "trace", help="export a Perfetto timeline (and interval metrics) for one run"
+    )
+    p_trace.add_argument("app", help="application name or alias (e.g. intsort, cholesky)")
+    p_trace.add_argument("system", help="memory system (e.g. RCinv, z-mc)")
+    p_trace.add_argument(
+        "--out", default="trace.json", help="Perfetto trace output path (default trace.json)"
+    )
+    p_trace.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="also collect interval metrics and write them to PATH",
+    )
+    p_trace.add_argument(
+        "--interval",
+        type=float,
+        default=1000.0,
+        help="metrics bucket width in simulated cycles (default 1000)",
+    )
+    p_trace.add_argument(
+        "--max-events",
+        type=int,
+        default=100_000,
+        help="trace ring size (default 100000)",
+    )
+    _add_manifest_flag(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
 
     p_bench = sub.add_parser(
         "bench", help="serial vs parallel vs cached timing of the full study set"
@@ -253,6 +433,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_jobs_count, default=0, help="worker processes (0 = one per CPU, default)"
     )
     p_bench.add_argument("--out", default=BENCH_FILE, help=f"output path (default {BENCH_FILE})")
+    p_bench.add_argument(
+        "--trace",
+        action="store_true",
+        help=f"measure observability overhead instead (writes {TRACE_BENCH_FILE})",
+    )
     p_bench.set_defaults(func=cmd_bench)
 
     p_check = sub.add_parser(
@@ -290,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure(verbose=args.verbose, quiet=args.quiet, json_mode=args.json)
     return args.func(args)
 
 

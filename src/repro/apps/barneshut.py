@@ -157,6 +157,7 @@ class BarnesHut(Application):
                 vys = yield from self.vy.read_range(lo, hi)
                 prev_slice = (lo, hi)
             # Phase 1: gather all positions, build the replicated tree.
+            yield from ctx.phase(f"build.{step}")
             xs = yield from self.px.read_range(0, n)
             ys = yield from self.py.read_range(0, n)
             tree = build_tree(xs, ys, ms)
@@ -164,6 +165,7 @@ class BarnesHut(Application):
                 tree.nnodes * _BUILD_NODE_COST + n * 4 * _INSERT_LEVEL_COST
             )
             # Phase 2: forces on owned bodies (private computation).
+            yield from ctx.phase(f"force.{step}")
             acc: dict[int, tuple[float, float]] = {}
             for i in range(lo, hi):
                 acc[i] = force_reference(tree, i, xs, ys, self.theta, self.eps)
@@ -172,6 +174,7 @@ class BarnesHut(Application):
             # Phase 3: integrate owned bodies and publish positions.
             # Writes go in per-array passes so consecutive words of a
             # cache line coalesce in the merge buffer.
+            yield from ctx.phase(f"update.{step}")
             nxs, nys = [], []
             for k, i in enumerate(range(lo, hi)):
                 ax, ay = acc[i]

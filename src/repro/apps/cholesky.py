@@ -85,6 +85,7 @@ class Cholesky(Application):
         sym = self.symbolic
         colptr = self.colptr
         row_pos = self.row_pos
+        yield from ctx.phase("factor")
         while True:
             j = yield from self.pool.get_task()
             if j is None:

@@ -85,6 +85,7 @@ class IntegerSort(Application):
         lo, hi = self._slice(pid, p, self.n)
 
         # Phase 1: local histogram of this processor's key slice.
+        yield from ctx.phase("histogram")
         local_hist = [0] * b
         my_keys: list[int] = []
         for i in range(lo, hi):
@@ -98,6 +99,7 @@ class IntegerSort(Application):
         yield from self.barrier.wait()
 
         # Phase 2: combine histograms for this processor's bucket range.
+        yield from ctx.phase("combine")
         blo, bhi = self._slice(pid, p, b)
         for bucket in range(blo, bhi):
             total = 0
@@ -108,6 +110,7 @@ class IntegerSort(Application):
         yield from self.barrier.wait()
 
         # Phase 3: prefix sum over buckets (serial: algorithmic component).
+        yield from ctx.phase("prefix")
         if pid == 0:
             running = 0
             for bucket in range(b):
@@ -118,6 +121,7 @@ class IntegerSort(Application):
 
         # Phase 4: rank own keys.  Offset of this processor within each
         # bucket = global bucket start + counts of lower-numbered procs.
+        yield from ctx.phase("rank")
         offsets: dict[int, int] = {}
         for bucket in sorted(set(self._bucket(k) for k in my_keys)):
             start = int((yield from self.gstart.read(bucket)))

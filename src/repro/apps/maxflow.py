@@ -99,6 +99,7 @@ class Maxflow(Application):
         net = self.net
         s, t = net.source, net.sink
         local: deque[int] = deque(self._seeds[ctx.pid])
+        yield from ctx.phase("discharge")
         while True:
             if local:
                 v = local.popleft()

@@ -43,6 +43,7 @@ class RacyDemo(Application):
     def worker(self, ctx: AppContext) -> Generator[Op, None, None]:
         if ctx.pid >= RACERS:
             return
+        yield from ctx.phase("race-rounds")
         for _ in range(self.rounds):
             # The bug under test: an unsynchronised read-modify-write of
             # data[0] by both processors (racy), plus a write of one's

@@ -26,10 +26,17 @@ from tempfile import TemporaryDirectory
 from ..apps.presets import preset
 from ..config import MachineConfig
 from ..mem.systems import PAPER_SYSTEMS
+from ..obs.manifest import build_manifest
+from ..obs.metrics import MetricsCollector
+from ..runtime.context import Machine
+from ..sim.trace import TracingMemory
 from .parallel import JobSpec, ResultCache, resolve_jobs, run_jobs
 
 #: Name of the trajectory file the bench emits by default.
 BENCH_FILE = "BENCH_parallel.json"
+
+#: Name of the observability-overhead trajectory file.
+TRACE_BENCH_FILE = "BENCH_trace.json"
 
 
 def bench_specs(
@@ -105,6 +112,98 @@ def run_bench(
     return doc
 
 
+def _observed_run(factory, system: str, cfg: MachineConfig, mode: str, interval: float):
+    """One in-process run with the given observability mode attached."""
+    app = factory()
+    machine = Machine(cfg, system)
+    app.setup(machine)
+    if mode in ("trace", "both"):
+        TracingMemory.attach(machine)
+    if mode in ("metrics", "both"):
+        MetricsCollector.attach(machine, interval=interval)
+    t0 = time.perf_counter()
+    result = machine.run(app.worker)
+    return time.perf_counter() - t0, result
+
+
+#: Observability modes measured by :func:`run_trace_bench`.
+TRACE_MODES = ("plain", "trace", "metrics", "both")
+
+
+def run_trace_bench(
+    scale: str = "smoke",
+    system: str = "RCinv",
+    repeats: int = 3,
+    interval: float = 1000.0,
+    out: str | os.PathLike | None = TRACE_BENCH_FILE,
+) -> dict:
+    """Measure tracing/metrics overhead against untraced runs.
+
+    Runs the preset IS workload on ``system`` under each observability
+    mode (none / tracer / metrics / both) ``repeats`` times, keeps the
+    best wall-clock per mode (the stable estimator on a noisy host), and
+    writes a ``BENCH_trace.json`` trajectory with the overhead ratios
+    and an embedded run manifest.  Simulated results must be identical
+    across modes — observability is timing-transparent by design.
+    """
+    cfg = MachineConfig()
+    factory, _ = preset(scale)["IS"]
+    walls: dict[str, float] = {}
+    totals: dict[str, float] = {}
+    ops = 0
+    for mode in TRACE_MODES:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            wall, result = _observed_run(factory, system, cfg, mode, interval)
+            best = min(best, wall)
+        walls[mode] = best
+        totals[mode] = result.total_time
+        ops = result.ops
+    assert len(set(totals.values())) == 1, (
+        f"observability changed simulated time: {totals}"
+    )
+    base = walls["plain"]
+
+    def ratio(mode: str) -> float:
+        return walls[mode] / base if base > 0 else float("inf")
+
+    doc = {
+        "bench": "observability-overhead",
+        "scale": scale,
+        "system": system,
+        "repeats": repeats,
+        "interval": interval,
+        "events": ops,
+        "simulated_cycles": totals["plain"],
+        "modes": {
+            mode: {"wall_s": round(walls[mode], 4), "ratio": round(ratio(mode), 3)}
+            for mode in TRACE_MODES
+        },
+        "manifest": build_manifest(
+            "trace-bench",
+            config=cfg,
+            app="IS",
+            systems=[system],
+            wall_seconds=sum(walls.values()),
+        ),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def format_trace_bench(doc: dict) -> str:
+    """Human-readable summary of an observability-overhead trajectory."""
+    lines = [
+        f"observability overhead: IS ({doc['scale']} scale) on {doc['system']}, "
+        f"best of {doc['repeats']}",
+        f"{'mode':>10s} {'wall (s)':>10s} {'ratio':>7s}",
+    ]
+    for name, mode in doc["modes"].items():
+        lines.append(f"{name:>10s} {mode['wall_s']:>10.4f} {mode['ratio']:>6.2f}x")
+    return "\n".join(lines)
+
+
 def format_bench(doc: dict) -> str:
     """Human-readable summary of a bench trajectory."""
     lines = [
@@ -121,4 +220,12 @@ def format_bench(doc: dict) -> str:
     return "\n".join(lines)
 
 
-__all__ = ["BENCH_FILE", "bench_specs", "format_bench", "run_bench"]
+__all__ = [
+    "BENCH_FILE",
+    "TRACE_BENCH_FILE",
+    "bench_specs",
+    "format_bench",
+    "format_trace_bench",
+    "run_bench",
+    "run_trace_bench",
+]

@@ -47,7 +47,8 @@ from ..sim.stats import SimResult
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bump to invalidate every cache entry independently of source changes.
-CACHE_SCHEMA = 1
+#: 2: SimResult gained the ``ops`` field (manifests report events/sec).
+CACHE_SCHEMA = 2
 
 
 # ---------------------------------------------------------------------------

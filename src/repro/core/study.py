@@ -8,12 +8,14 @@ categories relative to the z-machine ideal.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..apps.base import Application
 from ..config import MachineConfig
 from ..mem.systems import PAPER_SYSTEMS
+from ..obs.manifest import build_manifest
 from ..runtime.context import Machine
 from ..sim.stats import SimResult
 from .parallel import JobResult, JobSpec, ResultCache, run_jobs
@@ -80,6 +82,8 @@ class StudyResult:
     app_name: str
     config: MachineConfig
     systems: list[SystemResult]
+    #: Run manifest (what/where/how fast) — see :mod:`repro.obs.manifest`.
+    manifest: dict = field(default_factory=dict)
 
     def by_system(self, name: str) -> SystemResult:
         for s in self.systems:
@@ -122,7 +126,19 @@ def run_study(
         JobSpec(factory=app_factory, system=system, config=cfg, verify=verify, max_ops=max_ops)
         for system in systems
     ]
+    t0 = time.perf_counter()
     jobs_done = run_jobs(specs, jobs=jobs, cache=cache)
+    wall = time.perf_counter() - t0
     results = [SystemResult.from_job(job) for job in jobs_done]
     app_name = jobs_done[0].app if jobs_done else "?"
-    return StudyResult(app_name=app_name or "?", config=cfg, systems=results)
+    manifest = build_manifest(
+        "study",
+        config=cfg,
+        app=app_name or "?",
+        systems=list(systems),
+        wall_seconds=wall,
+        jobs=jobs_done,
+    )
+    return StudyResult(
+        app_name=app_name or "?", config=cfg, systems=results, manifest=manifest
+    )

@@ -8,11 +8,13 @@ implications" experiments.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..apps.base import Application, run_machine
 from ..config import MachineConfig
+from ..obs.manifest import build_manifest
 from ..runtime.context import Machine
 from ..sim.stats import SimResult
 from .parallel import JobSpec, ResultCache, run_jobs
@@ -49,6 +51,8 @@ class SweepResult:
     parameter: str
     system: str
     points: list[SweepPoint]
+    #: Run manifest (what/where/how fast) — see :mod:`repro.obs.manifest`.
+    manifest: dict = field(default_factory=dict)
 
     def series(self, metric: str) -> list[tuple[object, float]]:
         """(value, metric) pairs; metric is a SimResult attribute name
@@ -101,6 +105,8 @@ def sweep(
     if not hasattr(cfg, parameter):
         raise ValueError(f"MachineConfig has no parameter {parameter!r}")
     points = []
+    t0 = time.perf_counter()
+    jobs_done = None
     if jobs == 1 and cache is None:
         for value in values:
             machine, result = run_machine(
@@ -117,6 +123,15 @@ def sweep(
             )
             for value in values
         ]
-        for value, job in zip(values, run_jobs(specs, jobs=jobs, cache=cache)):
+        jobs_done = run_jobs(specs, jobs=jobs, cache=cache)
+        for value, job in zip(values, jobs_done):
             points.append(SweepPoint(value=value, result=job.result))
-    return SweepResult(parameter=parameter, system=system, points=points)
+    manifest = build_manifest(
+        "sweep",
+        config=cfg,
+        systems=[system],
+        wall_seconds=time.perf_counter() - t0,
+        jobs=jobs_done,
+        extra={"parameter": parameter, "values": [repr(v) for v in values]},
+    )
+    return SweepResult(parameter=parameter, system=system, points=points, manifest=manifest)

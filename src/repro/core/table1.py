@@ -9,11 +9,13 @@ seen, which are ≈0 because the inherent communication is overlapped.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
 from ..apps.base import Application
 from ..config import MachineConfig
+from ..obs.manifest import build_manifest
 from .parallel import JobResult, JobSpec, ResultCache, execute_job, run_jobs
 
 
@@ -78,9 +80,31 @@ def table1(
     fans them out over worker processes and ``cache`` reuses previous
     identical runs (see :mod:`repro.core.parallel`).
     """
+    rows, _ = table1_with_manifest(app_factories, config, verify=verify, jobs=jobs, cache=cache)
+    return rows
+
+
+def table1_with_manifest(
+    app_factories: dict[str, Callable[[], Application]],
+    config: MachineConfig | None = None,
+    verify: bool = True,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+) -> tuple[list[Table1Row], dict]:
+    """:func:`table1` plus a run manifest (see :mod:`repro.obs.manifest`)."""
     cfg = config if config is not None else MachineConfig()
     specs = [
         JobSpec(factory=factory, system="z-mc", config=cfg, verify=verify)
         for factory in app_factories.values()
     ]
-    return [_row_from_job(cfg, job) for job in run_jobs(specs, jobs=jobs, cache=cache)]
+    t0 = time.perf_counter()
+    jobs_done = run_jobs(specs, jobs=jobs, cache=cache)
+    manifest = build_manifest(
+        "table1",
+        config=cfg,
+        app=",".join(app_factories),
+        systems=["z-mc"],
+        wall_seconds=time.perf_counter() - t0,
+        jobs=jobs_done,
+    )
+    return [_row_from_job(cfg, job) for job in jobs_done], manifest

@@ -38,6 +38,8 @@ class StoreBuffer:
         self._pending_blocks: dict[int, int] = {}
         self.total_entries = 0
         self.full_stalls = 0
+        #: Highest simultaneous occupancy ever observed (telemetry).
+        self.peak_depth = 0
 
     def drain_completed(self, now: float) -> None:
         pending = self._pending
@@ -78,6 +80,8 @@ class StoreBuffer:
         self._pending.append(retire)
         self._last_retire = retire
         self.total_entries += 1
+        if len(self._pending) > self.peak_depth:
+            self.peak_depth = len(self._pending)
         if block is not None:
             self._pending_blocks[block] = self._pending_blocks.get(block, 0) + 1
             # Forget forwarding info once everything up to this entry has
@@ -141,6 +145,8 @@ class MergeBuffer:
         self._open: dict[int, MergeEntry] = {}
         self.merged_writes = 0
         self.evictions = 0
+        #: Highest simultaneous open-line count ever observed (telemetry).
+        self.peak_depth = 0
 
     def __len__(self) -> int:
         return len(self._open)
@@ -160,6 +166,8 @@ class MergeBuffer:
             evicted = self._open.pop(oldest_block)
             self.evictions += 1
         self._open[block] = MergeEntry(block, word, now)
+        if len(self._open) > self.peak_depth:
+            self.peak_depth = len(self._open)
         return evicted
 
     def flush_all(self) -> list[MergeEntry]:

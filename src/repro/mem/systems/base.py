@@ -77,6 +77,9 @@ class BaseMemorySystem:
     def sync_note(self, proc: int, now: float, sync: SyncPoint) -> None:
         """Zero-cost notification of a flag set/wait (tracing hook)."""
 
+    def phase_note(self, proc: int, now: float, label: str) -> None:
+        """Zero-cost notification of an application phase marker."""
+
     # -- decoupled data-flow synchronisation (paper Section 6) ----------
     def publish(self, proc: int, blocks: tuple[int, ...], now: float) -> tuple[float, float]:
         """Issue any buffered writes to ``blocks`` without waiting.

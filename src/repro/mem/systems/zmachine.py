@@ -85,6 +85,9 @@ class ZMachine:
     def sync_note(self, proc: int, now: float, sync: SyncPoint) -> None:
         """Zero-cost notification of a flag set/wait (tracing hook)."""
 
+    def phase_note(self, proc: int, now: float, label: str) -> None:
+        """Zero-cost notification of an application phase marker."""
+
     def publish(self, proc: int, blocks: tuple[int, ...], now: float) -> tuple[float, float]:
         """Data-flow publication: on the z-machine the counter mechanism
         already guarantees propagation, so only report readiness."""

@@ -25,6 +25,16 @@ class NetStats:
         self.busy_cycles += serialisation
         self.contention_cycles += queued
 
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time copy of every counter (interval metrics deltas)."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "latency_cycles": self.latency_cycles,
+            "busy_cycles": self.busy_cycles,
+            "contention_cycles": self.contention_cycles,
+        }
+
 
 class Network:
     """A point-to-point interconnect with reservation-based timing.

@@ -1,0 +1,39 @@
+"""Observability subsystem: metrics, timelines, manifests, logging.
+
+Four pillars (see docs/observability.md):
+
+- :mod:`repro.obs.metrics` — interval metrics: per-processor stall
+  decomposition, sync wait, network traffic and buffer depth sampled
+  into fixed-width simulated-time buckets.
+- :mod:`repro.obs.timeline` — Chrome trace-event / Perfetto JSON export
+  of traced runs: one lane per processor, stall slices, phase markers,
+  barrier/lock flow events.
+- :mod:`repro.obs.manifest` — structured run manifests so BENCH files
+  and studies are self-describing artifacts.
+- :mod:`repro.obs.log` — the structured logger behind the CLI's
+  ``--verbose``/``--quiet``/``--json`` modes.
+
+Everything here is strictly additive: with no collector attached the
+simulation pays one ``is None`` check per resumed thread and nothing
+else.
+"""
+
+from .log import Logger, configure, get_logger
+from .manifest import build_manifest, read_manifest, write_manifest
+from .metrics import Counter, Gauge, Histogram, MetricsCollector
+from .timeline import to_perfetto, write_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Logger",
+    "MetricsCollector",
+    "build_manifest",
+    "configure",
+    "get_logger",
+    "read_manifest",
+    "to_perfetto",
+    "write_manifest",
+    "write_trace",
+]

@@ -1,0 +1,171 @@
+"""Chrome trace-event / Perfetto JSON export of traced runs.
+
+Converts :class:`repro.sim.trace.TracingMemory` event lists into the
+`trace-event format <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+understood by ``chrome://tracing`` and https://ui.perfetto.dev:
+
+- one lane (*thread*) per simulated processor carrying complete ("X")
+  slices for every access, named by kind and hit/miss, with the stall
+  decomposition in ``args``;
+- one extra lane per processor carrying application ``phase`` spans;
+- flow events ("s"/"t"/"f") stitching barrier episodes across the
+  arriving processors and lock hand-offs from release to next acquire.
+
+Simulated cycles are written as microsecond timestamps (1 cycle = 1 us)
+— absolute units are meaningless in a simulator, relative extents are
+what the timeline is for.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: tid offset for the per-processor phase lanes.
+PHASE_LANE = 1000
+
+
+def _slice_name(e) -> str:
+    if e.sync_kind is not None:
+        return f"{e.sync_kind}:{e.sync_id}" if e.sync_id is not None else e.sync_kind
+    if e.kind in ("read", "write"):
+        return f"{e.kind} {'hit' if e.hit else 'miss'}"
+    return e.kind
+
+
+def to_perfetto(
+    events,
+    nprocs: int,
+    total_time: float | None = None,
+    app: str = "",
+    system: str = "",
+) -> dict[str, Any]:
+    """Build a trace-event JSON document from trace events.
+
+    ``events`` is a :class:`~repro.sim.trace.TracingMemory` or any
+    iterable of :class:`~repro.sim.trace.TraceEvent`.
+    """
+    events = list(getattr(events, "events", events))
+    if total_time is None:
+        total_time = max((e.complete for e in events), default=0.0)
+
+    meta: list[dict[str, Any]] = []
+    title = " ".join(x for x in (app, "on", system) if x) if (app or system) else "simulation"
+    meta.append(
+        {"ph": "M", "pid": 0, "tid": 0, "ts": 0, "name": "process_name",
+         "args": {"name": f"repro {title}"}}
+    )
+    has_phases = any(e.kind == "phase" for e in events)
+    for p in range(nprocs):
+        meta.append(
+            {"ph": "M", "pid": 0, "tid": p, "ts": 0, "name": "thread_name",
+             "args": {"name": f"proc {p}"}}
+        )
+        meta.append(
+            {"ph": "M", "pid": 0, "tid": p, "ts": 0, "name": "thread_sort_index",
+             "args": {"sort_index": 2 * p}}
+        )
+        if has_phases:
+            meta.append(
+                {"ph": "M", "pid": 0, "tid": PHASE_LANE + p, "ts": 0, "name": "thread_name",
+                 "args": {"name": f"phases p{p}"}}
+            )
+            meta.append(
+                {"ph": "M", "pid": 0, "tid": PHASE_LANE + p, "ts": 0,
+                 "name": "thread_sort_index", "args": {"sort_index": 2 * p + 1}}
+            )
+
+    body: list[dict[str, Any]] = []
+    phase_marks: dict[int, list] = {}
+    for e in events:
+        if e.kind == "phase":
+            phase_marks.setdefault(e.proc, []).append(e)
+            continue
+        entry: dict[str, Any] = {
+            "ph": "X", "pid": 0, "tid": e.proc, "cat": "sim",
+            "name": _slice_name(e),
+            "ts": e.issue, "dur": e.complete - e.issue,
+        }
+        args: dict[str, Any] = {}
+        if e.addr is not None:
+            args["addr"] = e.addr
+        for field in ("read_stall", "write_stall", "buffer_flush"):
+            v = getattr(e, field)
+            if v:
+                args[field] = v
+        if e.episode is not None:
+            args["episode"] = e.episode
+        if args:
+            entry["args"] = args
+        body.append(entry)
+
+    # -- application phase lanes ---------------------------------------
+    for proc, marks in phase_marks.items():
+        marks.sort(key=lambda e: e.issue)
+        for i, mark in enumerate(marks):
+            end = marks[i + 1].issue if i + 1 < len(marks) else total_time
+            body.append(
+                {"ph": "X", "pid": 0, "tid": PHASE_LANE + proc, "cat": "phase",
+                 "name": mark.label or "phase",
+                 "ts": mark.issue, "dur": max(0.0, end - mark.issue)}
+            )
+
+    # -- barrier flow events -------------------------------------------
+    barriers: dict[tuple[int, int], list] = {}
+    for e in events:
+        if e.kind == "release" and e.sync_kind == "barrier":
+            barriers.setdefault((e.sync_id, e.episode or 0), []).append(e)
+    for (bar_id, episode), arrivals in barriers.items():
+        if len(arrivals) < 2:
+            continue
+        arrivals.sort(key=lambda e: e.issue)
+        flow_id = f"barrier{bar_id}.e{episode}"
+        for i, e in enumerate(arrivals):
+            ph = "s" if i == 0 else ("f" if i == len(arrivals) - 1 else "t")
+            entry = {
+                "ph": ph, "pid": 0, "tid": e.proc, "cat": "flow",
+                "name": f"barrier:{bar_id}", "id": flow_id, "ts": e.issue,
+            }
+            if ph == "f":
+                entry["bp"] = "e"
+            body.append(entry)
+
+    # -- lock hand-off flow events -------------------------------------
+    locks: dict[int, list] = {}
+    for e in events:
+        if e.sync_kind == "lock" and e.kind in ("acquire", "release"):
+            locks.setdefault(e.sync_id, []).append(e)
+    for lock_id, ops in locks.items():
+        ops.sort(key=lambda e: e.issue)
+        handoff = 0
+        pending = None  # last unmatched release
+        for e in ops:
+            if e.kind == "release":
+                pending = e
+            elif pending is not None and e.proc != pending.proc:
+                flow_id = f"lock{lock_id}.h{handoff}"
+                handoff += 1
+                body.append(
+                    {"ph": "s", "pid": 0, "tid": pending.proc, "cat": "flow",
+                     "name": f"lock:{lock_id}", "id": flow_id, "ts": pending.issue}
+                )
+                body.append(
+                    {"ph": "f", "bp": "e", "pid": 0, "tid": e.proc, "cat": "flow",
+                     "name": f"lock:{lock_id}", "id": flow_id, "ts": e.issue}
+                )
+                pending = None
+
+    body.sort(key=lambda entry: entry["ts"])
+    return {
+        "traceEvents": meta + body,
+        "displayTimeUnit": "ms",
+        "otherData": {"app": app, "system": system, "total_time_cycles": total_time},
+    }
+
+
+def write_trace(path: str | Path, document: dict[str, Any]) -> Path:
+    """Write a trace-event document as JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(document) + "\n")
+    return path

@@ -57,7 +57,13 @@ class DataChannel:
             for k in range(depth)
         ]
         self.flag_id = machine.sync.new_flag()
-        self.ack_flag_id = machine.sync.new_flag()
+        #: One acknowledgement flag per consumer.  A single shared
+        #: counter is not enough for flow control: "total acks >= epoch
+        #: * consumers" can be satisfied by fast consumers acking later
+        #: epochs while a slow consumer has not acked the epoch being
+        #: overwritten, letting the producer tear a payload mid-read.
+        self.ack_flag_ids = [machine.sync.new_flag() for _ in range(consumers)]
+        self._next_reader = 0
         memsys = machine.memsys
         self.slot_blocks: list[tuple[int, ...]] = []
         for slot in self.slots:
@@ -80,9 +86,10 @@ class DataChannel:
             )
         overwritten_epoch = self._produced - self.depth + 1
         if overwritten_epoch >= 1:
-            # All consumers must have consumed the epoch whose slot we
-            # are about to overwrite.
-            yield FlagWait(self.ack_flag_id, overwritten_epoch * self.consumers)
+            # Every consumer individually must have consumed the epoch
+            # whose slot we are about to overwrite.
+            for ack_flag_id in self.ack_flag_ids:
+                yield FlagWait(ack_flag_id, overwritten_epoch)
         slot_idx = self._produced % self.depth
         yield from self.slots[slot_idx].write_range(0, values)
         self._produced += 1
@@ -93,36 +100,50 @@ class DataChannel:
         return self._produced
 
     # -- consumer side ---------------------------------------------------
-    def consume(self, epoch: int) -> Generator[Op, None, list]:
+    def consume(self, epoch: int, consumer: int = 0) -> Generator[Op, None, list]:
         """Wait for the ``epoch``-th payload (1-based) and return it.
 
         Control flow waits on the flag; data flow is a local smart
         self-invalidation followed by fresh reads — the producer never
-        stalled to guarantee our view.
+        stalled to guarantee our view.  ``consumer`` is this reader's
+        index (``reader()`` assigns them); its acknowledgement tells the
+        producer the slot may be reused.
         """
         if epoch < 1:
             raise ValueError("epochs are 1-based")
+        if not 0 <= consumer < self.consumers:
+            raise ValueError(
+                f"consumer index {consumer} out of range for {self.consumers} consumers"
+            )
         yield FlagWait(self.flag_id, epoch)
         slot_idx = (epoch - 1) % self.depth
         yield SelfInvalidate(self.slot_blocks[slot_idx])
         values = yield from self.slots[slot_idx].read_range(0, self.nwords)
-        yield FlagSet(self.ack_flag_id, ())
+        yield FlagSet(self.ack_flag_ids[consumer], ())
         return values
 
     def reader(self) -> ChannelReader:
-        return ChannelReader(self)
+        """Create the next consumer's cursor (at most ``consumers``)."""
+        if self._next_reader >= self.consumers:
+            raise RuntimeError(
+                f"channel {self.name!r} already has {self.consumers} readers"
+            )
+        reader = ChannelReader(self, self._next_reader)
+        self._next_reader += 1
+        return reader
 
 
 class ChannelReader:
     """Per-consumer epoch cursor over a :class:`DataChannel`."""
 
-    __slots__ = ("channel", "epoch")
+    __slots__ = ("channel", "consumer", "epoch")
 
-    def __init__(self, channel: DataChannel):
+    def __init__(self, channel: DataChannel, consumer: int = 0):
         self.channel = channel
+        self.consumer = consumer
         self.epoch = 0
 
     def next(self) -> Generator[Op, None, list]:
         """Consume the next unseen payload."""
         self.epoch += 1
-        return self.channel.consume(self.epoch)
+        return self.channel.consume(self.epoch, self.consumer)

@@ -14,7 +14,7 @@ from ..mem.systems import make_system
 from ..mem.systems.zmachine import ZMachine
 from ..network.base import Network
 from ..sim.engine import Engine
-from ..sim.events import Compute, Op
+from ..sim.events import Compute, Op, Phase
 from ..sim.stats import SimResult
 from .sharedmem import SharedMemory
 from .sync import SyncManager
@@ -35,6 +35,14 @@ class AppContext:
     def compute(self, cycles: float) -> Generator[Op, None, None]:
         """Charge ``cycles`` of local computation."""
         yield Compute(cycles)
+
+    def phase(self, label: str) -> Generator[Op, None, None]:
+        """Mark a named application phase (zero simulated cost).
+
+        Purely observability: tracers and metrics collectors attribute
+        subsequent events to the phase; timing is unaffected.
+        """
+        yield Phase(label)
 
 
 class Machine:

@@ -28,6 +28,7 @@ from .events import (
     FlagSet,
     FlagWait,
     Op,
+    Phase,
     Read,
     ReadNB,
     Release,
@@ -108,6 +109,13 @@ class Engine:
         self.memsys = memsys
         self.syncmgr = syncmgr
         self.max_ops = max_ops
+        #: Optional :class:`repro.obs.metrics.MetricsCollector`-style
+        #: observer.  When None (the default) the only cost is one
+        #: attribute load per resumed thread; when set, the engine calls
+        #: ``on_busy``/``on_access``/``on_stall``/``on_sync_wait`` with
+        #: exact per-category cycle accounting so interval metrics can
+        #: reproduce :class:`SimResult` totals to the last cycle.
+        self.observer = None
         self._threads: dict[int, _Thread] = {}
         self._heap: list[tuple[float, int, int]] = []
         self._seq = 0
@@ -156,7 +164,11 @@ class Engine:
         if not thread.blocked:
             raise RuntimeError(f"wake() on non-blocked thread {tid}")
         thread.blocked = False
-        thread.stats.sync_wait += max(0.0, grant_time - thread.block_time)
+        wait = max(0.0, grant_time - thread.block_time)
+        thread.stats.sync_wait += wait
+        obs = self.observer
+        if obs is not None and wait > 0.0:
+            obs.on_sync_wait(tid, thread.block_time, wait)
         thread.time = max(thread.time, grant_time)
         self._push(thread)
 
@@ -181,12 +193,13 @@ class Engine:
             )
         total = max((t.stats.finish_time for t in self._threads.values()), default=0.0)
         procs = [self._threads[tid].stats for tid in sorted(self._threads)]
-        return SimResult(total_time=total, procs=procs)
+        return SimResult(total_time=total, procs=procs, ops=self._ops_executed)
 
     def _run_thread(self, thread: _Thread) -> None:
         """Resume ``thread``, executing ops while it holds the global min clock."""
         gen = thread.gen
         stats = thread.stats
+        obs = self.observer
         while True:
             try:
                 op = gen.send(thread.feedback)
@@ -206,6 +219,8 @@ class Engine:
             if cls is Compute:
                 stats.busy += op.cycles
                 thread.time = now + op.cycles
+                if obs is not None and op.cycles > 0.0:
+                    obs.on_busy(thread.tid, now, op.cycles)
             elif cls is Read:
                 res = self.memsys.read(thread.tid, op.addr, now)
                 stats.reads += 1
@@ -227,7 +242,10 @@ class Engine:
                 if grant is None:
                     self._block(thread)
                     return
-                stats.sync_wait += max(0.0, grant - thread.time)
+                wait = max(0.0, grant - thread.time)
+                stats.sync_wait += wait
+                if obs is not None and wait > 0.0:
+                    obs.on_sync_wait(thread.tid, thread.time, wait)
                 thread.time = max(thread.time, grant)
             elif cls is Release:
                 sync = SyncPoint("lock", op.lock_id, self._lock_episode(op.lock_id))
@@ -235,7 +253,10 @@ class Engine:
                 self._charge(stats, thread, now, res)
                 stats.releases += 1
                 done = self.syncmgr.release(thread.tid, op.lock_id, thread.time)
-                stats.sync_wait += max(0.0, done - thread.time)
+                wait = max(0.0, done - thread.time)
+                stats.sync_wait += wait
+                if obs is not None and wait > 0.0:
+                    obs.on_sync_wait(thread.tid, thread.time, wait)
                 thread.time = max(thread.time, done)
             elif cls is BarrierWait:
                 sync = SyncPoint(
@@ -248,11 +269,15 @@ class Engine:
                 if depart is None:
                     self._block(thread)
                     return
-                stats.sync_wait += max(0.0, depart - thread.time)
+                wait = max(0.0, depart - thread.time)
+                stats.sync_wait += wait
+                if obs is not None and wait > 0.0:
+                    obs.on_sync_wait(thread.tid, thread.time, wait)
                 thread.time = max(thread.time, depart)
             elif cls is Fence:
                 res = self.memsys.release(thread.tid, now, SyncPoint("fence", -1))
                 self._charge(stats, thread, now, res)
+                stats.fences += 1
             elif cls is ReadNB:
                 res = self.memsys.read(thread.tid, op.addr, now)
                 stats.reads += 1
@@ -266,6 +291,8 @@ class Engine:
                 issue = self.config.cache_hit_cycles
                 stats.busy += issue
                 thread.time = now + issue
+                if obs is not None and issue > 0.0:
+                    obs.on_busy(thread.tid, now, issue)
                 thread.feedback = (thread.time, res)
             elif cls is FlagSet:
                 note = getattr(self.memsys, "sync_note", None)
@@ -278,7 +305,10 @@ class Engine:
                     )
                 proceed, data_ready = self.memsys.publish(thread.tid, op.blocks, now)
                 done = self.syncmgr.flag_set(thread.tid, op.flag_id, proceed, data_ready)
-                stats.busy += max(0.0, done - now)
+                busy = max(0.0, done - now)
+                stats.busy += busy
+                if obs is not None and busy > 0.0:
+                    obs.on_busy(thread.tid, now, busy)
                 thread.time = max(now, done)
             elif cls is FlagWait:
                 note = getattr(self.memsys, "sync_note", None)
@@ -288,13 +318,18 @@ class Engine:
                 if depart is None:
                     self._block(thread)
                     return
-                stats.sync_wait += max(0.0, depart - now)
+                wait = max(0.0, depart - now)
+                stats.sync_wait += wait
+                if obs is not None and wait > 0.0:
+                    obs.on_sync_wait(thread.tid, now, wait)
                 thread.time = max(now, depart)
             elif cls is SelfInvalidate:
                 self.memsys.self_invalidate(thread.tid, op.blocks, now)
                 cost = len(op.blocks) * 1.0
                 stats.busy += cost
                 thread.time = now + cost
+                if obs is not None and cost > 0.0:
+                    obs.on_busy(thread.tid, now, cost)
             elif cls is Stall:
                 if op.category == "read":
                     stats.read_stall += op.cycles
@@ -305,6 +340,15 @@ class Engine:
                 else:
                     stats.sync_wait += op.cycles
                 thread.time = now + op.cycles
+                if obs is not None and op.cycles > 0.0:
+                    obs.on_stall(thread.tid, now, op.cycles, op.category)
+            elif cls is Phase:
+                # Zero simulated cycles: purely an observability marker.
+                note = getattr(self.memsys, "phase_note", None)
+                if note is not None:
+                    note(thread.tid, now, op.label)
+                if obs is not None:
+                    obs.on_phase(thread.tid, now, op.label)
             else:
                 raise TypeError(f"thread {thread.tid} yielded non-Op {op!r}")
             if thread.feedback is None:
@@ -321,8 +365,7 @@ class Engine:
         thread.blocked = True
         thread.block_time = thread.time
 
-    @staticmethod
-    def _charge(stats: ProcStats, thread: _Thread, now: float, res: AccessResult) -> None:
+    def _charge(self, stats: ProcStats, thread: _Thread, now: float, res: AccessResult) -> None:
         """Advance the thread clock and bucket the elapsed cycles."""
         elapsed = res.time - now
         if elapsed < -1e-9:
@@ -335,5 +378,12 @@ class Engine:
         stats.buffer_flush += res.buffer_flush
         # Whatever the stall categories do not claim is pipeline/busy time
         # (e.g. the one-cycle cache-hit cost).
-        stats.busy += max(0.0, elapsed - stalls)
+        busy = max(0.0, elapsed - stalls)
+        stats.busy += busy
         thread.time = res.time
+        obs = self.observer
+        if obs is not None and elapsed > 0.0:
+            obs.on_access(
+                thread.tid, now, res.time,
+                res.read_stall, res.write_stall, res.buffer_flush, busy,
+            )

@@ -179,6 +179,26 @@ class SelfInvalidate(Op):
         return f"SelfInvalidate({self.blocks})"
 
 
+class Phase(Op):
+    """Zero-cost application phase marker (observability only).
+
+    Emitted via :meth:`repro.runtime.context.AppContext.phase`; the
+    engine charges no simulated time and forwards the marker to the
+    memory system's ``phase_note`` hook so tracers and metrics
+    collectors can attribute subsequent events to a named phase
+    (``repro.obs``).  Timing-transparent: a run with phase markers is
+    cycle-identical to the same run without them.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Phase({self.label!r})"
+
+
 #: Valid stall categories for :class:`Stall`.
 STALL_CATEGORIES = ("read", "write", "flush", "sync")
 

@@ -28,6 +28,7 @@ class ProcStats:
     acquires: int = 0
     releases: int = 0
     barriers: int = 0
+    fences: int = 0
     finish_time: float = 0.0
 
     @property
@@ -50,6 +51,8 @@ class SimResult:
     network_messages: int = 0
     network_bytes: int = 0
     network_busy_cycles: float = 0.0
+    #: Operations the engine executed (every yielded :class:`Op`).
+    ops: int = 0
 
     @property
     def nprocs(self) -> int:
@@ -103,6 +106,31 @@ class SimResult:
     @property
     def total_read_misses(self) -> int:
         return sum(p.read_misses for p in self.procs)
+
+    @property
+    def total_acquires(self) -> int:
+        return sum(p.acquires for p in self.procs)
+
+    @property
+    def total_releases(self) -> int:
+        return sum(p.releases for p in self.procs)
+
+    @property
+    def total_barriers(self) -> int:
+        return sum(p.barriers for p in self.procs)
+
+    @property
+    def total_fences(self) -> int:
+        return sum(p.fences for p in self.procs)
+
+    def sync_counts(self) -> dict[str, int]:
+        """Machine-wide synchronisation operation counts by kind."""
+        return {
+            "acquires": self.total_acquires,
+            "releases": self.total_releases,
+            "barriers": self.total_barriers,
+            "fences": self.total_fences,
+        }
 
 
 @dataclass(frozen=True)

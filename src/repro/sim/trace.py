@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from .stats import AccessResult, SyncPoint
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One traced memory-system operation.
 
@@ -31,7 +31,7 @@ class TraceEvent:
     ``None`` for plain data accesses.
     """
 
-    kind: str  # "read" | "write" | "acquire" | "release" | "flag_set" | "flag_wait"
+    kind: str  # "read" | "write" | "acquire" | "release" | "flag_set" | "flag_wait" | "phase"
     proc: int
     addr: int | None
     issue: float
@@ -43,6 +43,8 @@ class TraceEvent:
     sync_kind: str | None = None
     sync_id: int | None = None
     episode: int | None = None
+    #: Phase-marker label (``kind == "phase"`` only).
+    label: str | None = None
 
     @property
     def latency(self) -> float:
@@ -56,11 +58,17 @@ class TracingMemory:
     counters keep full totals).
     """
 
-    def __init__(self, inner, max_events: int = 100_000):
+    def __init__(self, inner, max_events: int = 100_000, shm=None):
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
         self.inner = inner
         self.max_events = max_events
+        # line_size is constant per system; bind once to keep the
+        # per-access path off the delegation chain.
+        self._line_size = inner.line_size
+        #: Optional :class:`repro.runtime.sharedmem.SharedMemory`; when
+        #: set, block rankings resolve block numbers to array names.
+        self.shm = shm
         self.events: list[TraceEvent] = []
         self.dropped = 0
         self._block_stall: Counter[int] = Counter()
@@ -75,7 +83,7 @@ class TracingMemory:
         compose with other decorators (e.g. a ``CheckedMemorySystem``
         attached first keeps auditing underneath the tracer).
         """
-        tracer = cls(machine.engine.memsys, max_events)
+        tracer = cls(machine.engine.memsys, max_events, shm=getattr(machine, "shm", None))
         machine.engine.memsys = tracer
         return tracer
 
@@ -89,38 +97,58 @@ class TracingMemory:
         res: AccessResult,
         sync: SyncPoint | None = None,
     ) -> AccessResult:
-        if len(self.events) < self.max_events:
-            self.events.append(
-                TraceEvent(
-                    kind=kind,
-                    proc=proc,
-                    addr=addr,
-                    issue=issue,
-                    complete=res.time,
-                    read_stall=res.read_stall,
-                    write_stall=res.write_stall,
-                    buffer_flush=res.buffer_flush,
-                    hit=res.hit,
-                    sync_kind=sync.kind if sync is not None else None,
-                    sync_id=sync.sync_id if sync is not None else None,
-                    episode=sync.episode if sync is not None else None,
+        events = self.events
+        if len(events) < self.max_events:
+            if sync is None:
+                events.append(
+                    TraceEvent(
+                        kind, proc, addr, issue, res.time,
+                        res.read_stall, res.write_stall, res.buffer_flush, res.hit,
+                    )
                 )
-            )
+            else:
+                events.append(
+                    TraceEvent(
+                        kind, proc, addr, issue, res.time,
+                        res.read_stall, res.write_stall, res.buffer_flush, res.hit,
+                        sync.kind, sync.sync_id, sync.episode,
+                    )
+                )
         else:
             self.dropped += 1
         if addr is not None:
-            block = addr // self.inner.line_size
+            block = addr // self._line_size
             self._block_access[block] += 1
             stall = res.read_stall + res.write_stall
             if stall:
                 self._block_stall[block] += stall
         return res
 
+    def _data_access(self, kind: str, proc: int, addr: int, now: float, res: AccessResult):
+        # Inlined hot path: read/write dominate event volume, so they
+        # skip _record's sync plumbing entirely.
+        events = self.events
+        if len(events) < self.max_events:
+            events.append(
+                TraceEvent(
+                    kind, proc, addr, now, res.time,
+                    res.read_stall, res.write_stall, res.buffer_flush, res.hit,
+                )
+            )
+        else:
+            self.dropped += 1
+        block = addr // self._line_size
+        self._block_access[block] += 1
+        stall = res.read_stall + res.write_stall
+        if stall:
+            self._block_stall[block] += stall
+        return res
+
     def read(self, proc: int, addr: int, now: float) -> AccessResult:
-        return self._record("read", proc, addr, now, self.inner.read(proc, addr, now))
+        return self._data_access("read", proc, addr, now, self.inner.read(proc, addr, now))
 
     def write(self, proc: int, addr: int, now: float) -> AccessResult:
-        return self._record("write", proc, addr, now, self.inner.write(proc, addr, now))
+        return self._data_access("write", proc, addr, now, self.inner.write(proc, addr, now))
 
     def acquire(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
         return self._record(
@@ -137,32 +165,78 @@ class TracingMemory:
         self.inner.sync_note(proc, now, sync)
         self._record(sync.kind, proc, None, now, AccessResult(time=now, hit=True), sync=sync)
 
+    def phase_note(self, proc: int, now: float, label: str) -> None:
+        """Record a zero-cost application phase marker."""
+        self.inner.phase_note(proc, now, label)
+        if len(self.events) < self.max_events:
+            self.events.append(
+                TraceEvent(
+                    kind="phase", proc=proc, addr=None, issue=now, complete=now,
+                    read_stall=0.0, write_stall=0.0, buffer_flush=0.0, hit=True,
+                    label=label,
+                )
+            )
+        else:
+            self.dropped += 1
+
     def __getattr__(self, name: str):
         # Delegate everything else (traffic_summary, caches, ...) inward.
         return getattr(self.inner, name)
 
     # -- analysis ---------------------------------------------------------
-    def hottest_blocks(self, n: int = 10) -> list[tuple[int, float]]:
-        """Blocks ranked by accumulated stall cycles."""
-        return self._block_stall.most_common(n)
+    def block_name(self, block: int) -> str:
+        """Resolve a block number to the shared array(s) it covers.
 
-    def busiest_blocks(self, n: int = 10) -> list[tuple[int, int]]:
-        """Blocks ranked by access count."""
-        return self._block_access.most_common(n)
+        Same attribution the race detector uses: the block's byte span is
+        intersected with every :class:`SharedArray` allocation.  Falls
+        back to ``"block:<n>"`` when no shared memory is attached or the
+        block covers allocator padding only.
+        """
+        if self.shm is None:
+            return f"block:{block}"
+        line = self._line_size
+        lo, hi = block * line, (block + 1) * line
+        parts = []
+        for arr in self.shm.arrays:
+            word = arr._word
+            base, end = arr.base, arr.base + arr.n * word
+            if lo < end and hi > base:
+                e0 = max(0, (lo - base) // word)
+                e1 = min(arr.n, (hi - base + word - 1) // word)
+                name = arr.name or f"@0x{arr.base:x}"
+                parts.append(f"{name}[{e0}:{e1}]" if arr.n > 1 else name)
+        return "+".join(parts) if parts else f"block:{block}"
+
+    def hottest_blocks(self, n: int = 10) -> list[tuple[str, float]]:
+        """Blocks ranked by accumulated stall cycles, named by array."""
+        return [(self.block_name(b), v) for b, v in self._block_stall.most_common(n)]
+
+    def busiest_blocks(self, n: int = 10) -> list[tuple[str, int]]:
+        """Blocks ranked by access count, named by array."""
+        return [(self.block_name(b), v) for b, v in self._block_access.most_common(n)]
 
     def events_for_proc(self, proc: int) -> list[TraceEvent]:
         return [e for e in self.events if e.proc == proc]
 
     def summary(self) -> dict[str, float]:
+        kinds: Counter[str] = Counter(e.kind for e in self.events)
         reads = [e for e in self.events if e.kind == "read"]
-        return {
+        writes = [e for e in self.events if e.kind == "write"]
+        out: dict[str, float] = {
             "events": len(self.events) + self.dropped,
             "recorded": len(self.events),
             "reads": len(reads),
+            "writes": len(writes),
             "read_miss_rate": (
                 sum(1 for e in reads if not e.hit) / len(reads) if reads else 0.0
+            ),
+            "write_miss_rate": (
+                sum(1 for e in writes if not e.hit) / len(writes) if writes else 0.0
             ),
             "total_stall": sum(
                 e.read_stall + e.write_stall + e.buffer_flush for e in self.events
             ),
         }
+        for kind, count in sorted(kinds.items()):
+            out[f"events_{kind}"] = count
+        return out
