@@ -49,10 +49,14 @@ from .apps import SCALES, default_scale, preset
 from .apps.factory import AppFactory
 from .core.bench import (
     BENCH_FILE,
+    ENGINE_BENCH_FILE,
     TRACE_BENCH_FILE,
+    check_engine_regression,
     format_bench,
+    format_engine_bench,
     format_trace_bench,
     run_bench,
+    run_engine_bench,
     run_trace_bench,
 )
 from .core.parallel import ResultCache, parallel_map
@@ -87,15 +91,16 @@ def _cache(args: argparse.Namespace) -> ResultCache | None:
     return None if args.no_cache else ResultCache.default()
 
 
-def _selected_apps(name: str) -> dict:
+def _selected_apps(name: str, scale: str = "default") -> dict:
+    apps = APP_FACTORIES if scale == "default" else preset(scale)
     if name == "all":
-        return APP_FACTORIES
-    if name not in APP_FACTORIES:
+        return apps
+    if name not in apps:
         raise SystemExit(
             f"unknown application {name!r}; choose from "
-            f"{', '.join(APP_FACTORIES)} or 'all'"
+            f"{', '.join(apps)} or 'all'"
         )
-    return {name: APP_FACTORIES[name]}
+    return {name: apps[name]}
 
 
 def _emit_manifest(path: str | None, manifests: list[dict], kind: str) -> None:
@@ -121,7 +126,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             raise SystemExit(f"unknown memory system {s!r}")
     cache = _cache(args)
     studies = []
-    for name, (factory, _) in _selected_apps(args.app).items():
+    for name, (factory, _) in _selected_apps(args.app, args.scale).items():
         log.debug(f"running study: {name}", systems=",".join(systems))
         studies.append(run_study(factory, cfg, systems=systems, jobs=args.jobs, cache=cache))
     if args.format == "csv":
@@ -254,6 +259,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     log = get_logger()
+    if args.engine:
+        out = args.out if args.out != BENCH_FILE else ENGINE_BENCH_FILE
+        if args.quick:
+            # Quick mode is the CI perf-smoke: one rep, never overwrites
+            # the committed baseline — it is compared against it.
+            doc = run_engine_bench(
+                scale=args.scale, nprocs=args.nprocs, reps=1, out=None
+            )
+            log.out(format_engine_bench(doc))
+            baseline_path = Path(out)
+            if not baseline_path.exists():
+                log.out(f"no committed baseline at {out}; regression check skipped")
+                return 0
+            baseline = json.loads(baseline_path.read_text())
+            ok, msg = check_engine_regression(doc, baseline)
+            log.out(msg)
+            return 0 if ok else 1
+        doc = run_engine_bench(scale=args.scale, nprocs=args.nprocs, out=out)
+        log.out(format_engine_bench(doc))
+        log.out(f"trajectory written to {out}")
+        return 0
     if args.trace:
         out = args.out if args.out != BENCH_FILE else TRACE_BENCH_FILE
         doc = run_trace_bench(scale=args.scale, out=out)
@@ -292,7 +318,12 @@ def cmd_check(args: argparse.Namespace) -> int:
     log.out(format_outcomes(outcomes))
     if args.bench_out:
         doc = write_check_bench(
-            outcomes, wall, jobs=args.jobs, scale=args.scale, out=args.bench_out
+            outcomes,
+            wall,
+            jobs=args.jobs,
+            scale=args.scale,
+            out=args.bench_out,
+            nprocs=cfg.nprocs,
         )
         log.out(f"checker timing written to {args.bench_out} ({doc['wall_s']}s wall)")
     findings = sum(o.races.total + o.violation_total for o in outcomes)
@@ -373,6 +404,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_study = sub.add_parser("study", help="run an overhead study")
     p_study.add_argument("--app", default="all", help="application name or 'all'")
+    p_study.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="default",
+        help="workload preset; 'large' is ~10x default, sized for "
+        "--nprocs 64/256 machines",
+    )
     p_study.add_argument("--systems", nargs="*", help="memory systems (default: paper's five)")
     p_study.add_argument("--format", choices=("text", "csv", "json"), default="text")
     _add_parallel_flags(p_study)
@@ -437,6 +475,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help=f"measure observability overhead instead (writes {TRACE_BENCH_FILE})",
+    )
+    p_bench.add_argument(
+        "--engine",
+        action="store_true",
+        help="measure raw engine throughput (simulated events/sec) instead "
+        f"(writes {ENGINE_BENCH_FILE})",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="with --engine: one rep, compare against the committed "
+        f"{ENGINE_BENCH_FILE} instead of overwriting it; exit 1 on >20%% "
+        "events/sec regression (the CI perf-smoke mode)",
     )
     p_bench.set_defaults(func=cmd_bench)
 

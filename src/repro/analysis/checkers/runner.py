@@ -170,12 +170,16 @@ class CheckBench:
     jobs: int
     scale: str
     simulated_events: int = 0
+    #: Machine size the pass ran at — 0 means "unrecorded" (legacy docs).
+    #: Timing trajectories at different P are not comparable.
+    nprocs: int = 0
     extra: dict = field(default_factory=dict)
 
     def to_doc(self) -> dict:
         return {
             "bench": "correctness-check",
             "scale": self.scale,
+            "nprocs": self.nprocs,
             "jobs": self.jobs,
             "cpu_count": os.cpu_count(),
             "n_runs": self.n_runs,
@@ -193,6 +197,7 @@ def write_check_bench(
     jobs: int,
     scale: str,
     out: str | os.PathLike = CHECK_BENCH_FILE,
+    nprocs: int = 0,
 ) -> dict:
     """Write the ``BENCH_check.json`` timing trajectory; returns the doc."""
     bench = CheckBench(
@@ -201,6 +206,7 @@ def write_check_bench(
         cached_runs=sum(1 for o in outcomes if o.cached),
         jobs=jobs,
         scale=scale,
+        nprocs=nprocs,
         simulated_events=sum(o.events for o in outcomes),
     )
     doc = bench.to_doc()

@@ -6,7 +6,7 @@ from .cholesky import Cholesky
 from .factory import APP_REGISTRY, AppFactory
 from .intsort import IntegerSort, bucket_stable_ranks
 from .maxflow import Maxflow
-from .presets import SCALES, default_scale, paper_scale, preset, smoke_scale
+from .presets import SCALES, default_scale, large_scale, paper_scale, preset, smoke_scale
 
 __all__ = [
     "APP_REGISTRY",
@@ -19,6 +19,7 @@ __all__ = [
     "SCALES",
     "bucket_stable_ranks",
     "default_scale",
+    "large_scale",
     "paper_scale",
     "preset",
     "smoke_scale",

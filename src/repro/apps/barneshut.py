@@ -22,6 +22,7 @@ every 10 time steps" (the set of producers for each line changes).
 from __future__ import annotations
 
 from collections.abc import Generator
+from math import sqrt
 
 import numpy as np
 
@@ -37,6 +38,41 @@ from .quadtree import QuadTree, build_tree, force_reference, opens
 _BUILD_NODE_COST = 12 * INT_OP + 4 * FLOP
 #: cycles per insertion descent level
 _INSERT_LEVEL_COST = 6 * INT_OP
+
+#: Per-node costs for the fused traversal below.  The expressions match
+#: :func:`traversal_cost` exactly (same operands, same evaluation order)
+#: so the accumulated cycle totals stay bit-identical.
+_VISIT_COST = LOOP_OVERHEAD + INT_OP
+_KERNEL_COST = 4 * FMA + FSQRT + FDIV
+_OPEN_TEST_COST = 3 * FLOP
+
+#: Reusable integrate-step op (the engine consumes .cycles before the
+#: generator resumes and never mutates the op).
+_C_UPDATE = Compute(4 * FMA + LOOP_OVERHEAD)
+
+#: Host-side memo of force traversals, keyed *by value* on everything
+#: the result depends on.  A study sweep runs the same application under
+#: five memory systems; the Python-level dynamics are identical across
+#: those runs, so each (positions, masses, body) force is recomputed up
+#: to 5x without this.  Like the per-instance tree memo, this changes
+#: no simulated timing — every processor still yields the same
+#: ``Compute(cost)`` — and a divergent (racy) run produces a different
+#: key and falls back to a fresh computation.
+_FORCE_MEMO: dict[tuple, dict[int, tuple[float, float, float]]] = {}
+_FORCE_MEMO_MAX = 16
+
+
+def _force_memo_for(xs, ys, ms, theta: float, eps: float) -> dict:
+    """Per-timestep force-result store for the given dynamics state."""
+    key = (theta, eps, tuple(xs), tuple(ys), tuple(ms))
+    memo = _FORCE_MEMO.get(key)
+    if memo is None:
+        if len(_FORCE_MEMO) >= _FORCE_MEMO_MAX:
+            # FIFO eviction: steps are visited in order, old states never
+            # recur, so the oldest entry is always the dead one.
+            del _FORCE_MEMO[next(iter(_FORCE_MEMO))]
+        memo = _FORCE_MEMO[key] = {}
+    return memo
 
 
 def traversal_cost(tree: QuadTree, i: int, xs, ys, theta: float, eps: float) -> float:
@@ -65,6 +101,67 @@ def traversal_cost(tree: QuadTree, i: int, xs, ys, theta: float, eps: float) -> 
                 if c != -1:
                     stack.append(c)
     return cycles
+
+
+def force_and_cost(
+    tree: QuadTree, i: int, xs, ys, theta: float, eps: float
+) -> tuple[float, float, float]:
+    """Force on body ``i`` plus the traversal's cycle cost, in one pass.
+
+    Replicates :func:`force_reference` and :func:`traversal_cost`
+    operation for operation — same stack order, same IEEE operand order
+    for both the acceleration and the cycle accumulations — so
+    ``(ax, ay)`` and ``cycles`` are bit-identical to running the two
+    reference traversals separately.  Fusing them halves the tree walks,
+    which dominate the Nbody host profile.
+    """
+    x = xs[i]
+    y = ys[i]
+    body = tree.body
+    comx = tree.comx
+    comy = tree.comy
+    mass = tree.mass
+    half = tree.half
+    child = tree.child
+    eps2 = eps * eps
+    theta2 = theta * theta
+    ax = ay = 0.0
+    cycles = 0.0
+    stack = [0]
+    pop = stack.pop
+    push = stack.append
+    while stack:
+        nid = pop()
+        b = body[nid]
+        cycles += _VISIT_COST
+        if b >= 0:
+            if b != i:
+                dx = comx[nid] - x
+                dy = comy[nid] - y
+                r2 = dx * dx + dy * dy + eps2
+                inv = mass[nid] / (r2 * sqrt(r2))
+                ax += dx * inv
+                ay += dy * inv
+                cycles += _KERNEL_COST
+            continue
+        dx = comx[nid] - x
+        dy = comy[nid] - y
+        cycles += _OPEN_TEST_COST
+        r2 = dx * dx + dy * dy + eps2
+        size = 2.0 * half[nid]
+        if size * size < theta2 * r2:
+            inv = mass[nid] / (r2 * sqrt(r2))
+            ax += dx * inv
+            ay += dy * inv
+            cycles += _KERNEL_COST
+        else:
+            i4 = 4 * nid
+            for q in (3, 2, 1, 0):
+                c = child[i4 + q]
+                cycles += INT_OP
+                if c != -1:
+                    push(c)
+    return ax, ay, cycles
 
 
 def reference_run(
@@ -113,6 +210,14 @@ class BarnesHut(Application):
         self.eps = eps
         self.boost_interval = boost_interval
         self._machine: Machine | None = None
+        #: Per-step memo of the replicated tree build: every processor
+        #: builds its tree from the same DRF-published positions, so one
+        #: host-side build can serve all of them.  The cached inputs are
+        #: compared by value before reuse, so a divergent (racy) run
+        #: falls back to a private rebuild and stays correct.  Simulated
+        #: timing is untouched: each processor still pays the build's
+        #: Compute cost.
+        self._tree_memo: tuple | None = None
 
     # ------------------------------------------------------------------
     def setup(self, machine: Machine) -> None:
@@ -130,6 +235,7 @@ class BarnesHut(Application):
         self.vy.poke_many([float(v) for v in self.bodies.vel[:, 1]])
         self.ms.poke_many([float(v) for v in self.bodies.mass])
         self.barrier = Barrier(sync, name="bh.barrier")
+        self._tree_memo = None
 
     def _partition(self, pid: int, nprocs: int, step: int) -> tuple[int, int]:
         """Body slice owned by ``pid`` at ``step`` (rotates on boosts)."""
@@ -142,6 +248,11 @@ class BarnesHut(Application):
     # ------------------------------------------------------------------
     def worker(self, ctx: AppContext) -> Generator[Op, None, None]:
         n = self.n
+        # Zero-call access path for the per-step position gather (see
+        # SharedArray.hot_access): the full-array read is the app-side
+        # hot loop and the read_range delegation frame was measurable.
+        pxrd, _, pxbase, pxword, pxdata = self.px.hot_access()
+        pyrd, _, pybase, pyword, pydata = self.py.hot_access()
         # Masses are static: read them once (cold misses only).
         ms = yield from self.ms.read_range(0, n)
         # Velocities are consumed only by the owning processor, so they
@@ -158,18 +269,45 @@ class BarnesHut(Application):
                 prev_slice = (lo, hi)
             # Phase 1: gather all positions, build the replicated tree.
             yield from ctx.phase(f"build.{step}")
-            xs = yield from self.px.read_range(0, n)
-            ys = yield from self.py.read_range(0, n)
-            tree = build_tree(xs, ys, ms)
+            xs = []
+            append_x = xs.append
+            for i in range(n):
+                pxrd.addr = pxbase + i * pxword
+                yield pxrd
+                append_x(pxdata[i])
+            ys = []
+            append_y = ys.append
+            for i in range(n):
+                pyrd.addr = pybase + i * pyword
+                yield pyrd
+                append_y(pydata[i])
+            memo = self._tree_memo
+            if (
+                memo is not None
+                and memo[0] == step
+                and memo[1] == xs
+                and memo[2] == ys
+                and memo[3] == ms
+            ):
+                tree = memo[4]
+            else:
+                tree = build_tree(xs, ys, ms)
+                self._tree_memo = (step, xs, ys, ms, tree)
             yield Compute(
                 tree.nnodes * _BUILD_NODE_COST + n * 4 * _INSERT_LEVEL_COST
             )
             # Phase 2: forces on owned bodies (private computation).
             yield from ctx.phase(f"force.{step}")
             acc: dict[int, tuple[float, float]] = {}
+            fmemo = _force_memo_for(xs, ys, ms, self.theta, self.eps)
             for i in range(lo, hi):
-                acc[i] = force_reference(tree, i, xs, ys, self.theta, self.eps)
-                yield Compute(traversal_cost(tree, i, xs, ys, self.theta, self.eps))
+                r = fmemo.get(i)
+                if r is None:
+                    r = force_and_cost(tree, i, xs, ys, self.theta, self.eps)
+                    fmemo[i] = r
+                ax, ay, cost = r
+                acc[i] = (ax, ay)
+                yield Compute(cost)
             yield from self.barrier.wait()
             # Phase 3: integrate owned bodies and publish positions.
             # Writes go in per-array passes so consecutive words of a
@@ -182,7 +320,7 @@ class BarnesHut(Application):
                 vys[k] += ay * self.dt
                 nxs.append(xs[i] + vxs[k] * self.dt)
                 nys.append(ys[i] + vys[k] * self.dt)
-                yield Compute(4 * FMA + LOOP_OVERHEAD)
+                yield _C_UPDATE
             yield from self.px.write_range(lo, nxs)
             yield from self.py.write_range(lo, nys)
             last_of_epoch = (

@@ -33,6 +33,17 @@ from ..workloads.matrices import (
 from .base import Application
 from .costs import DISPATCH, FDIV, FMA, FSQRT, INT_OP, LOOP_OVERHEAD
 
+# Constant-cost Compute ops shared by every yield of the same site.  The
+# engine consumes an op (reads .cycles) before resuming the generator
+# and these are never mutated, so one immutable instance per cost is
+# safe — and saves an allocation per simulated instruction.
+_C_DISPATCH = Compute(DISPATCH)
+_C_GATHER = Compute(INT_OP + LOOP_OVERHEAD)
+_C_CMOD = Compute(FMA + LOOP_OVERHEAD)
+_C_SQRT = Compute(FSQRT)
+_C_CDIV = Compute(FDIV + LOOP_OVERHEAD)
+_C_LOOP = Compute(LOOP_OVERHEAD)
+
 
 class Cholesky(Application):
     """Parallel sparse Cholesky with central-queue scheduling."""
@@ -85,42 +96,54 @@ class Cholesky(Application):
         sym = self.symbolic
         colptr = self.colptr
         row_pos = self.row_pos
+        # Zero-call access paths for the factor kernels (see
+        # SharedArray.hot_access): the gather/cmod/cdiv loops are the
+        # app-side hot path and per-element sub-generators dominated it.
+        ard, _, abase, aword, adata = self.avals.hot_access()
+        lrd, lwr, lbase, lword, ldata = self.lvals.hot_access()
         yield from ctx.phase("factor")
         while True:
             j = yield from self.pool.get_task()
             if j is None:
                 break
-            yield Compute(DISPATCH)
+            yield _C_DISPATCH
             struct = sym.col_struct[j]
             base_j = int(colptr[j])
             # Accumulator for column j, initialised from A's column.
             acc = dict.fromkeys((int(i) for i in struct), 0.0)
             a_base = int(self.a_colptr[j])
             for k, i in enumerate(self.a.cols[j]):
-                v = yield from self.avals.read(a_base + k)
-                acc[int(i)] = float(v)
-                yield Compute(INT_OP + LOOP_OVERHEAD)
+                ard.addr = abase + (a_base + k) * aword
+                yield ard
+                acc[int(i)] = float(adata[a_base + k])
+                yield _C_GATHER
             # cmod(j, k) for every column k with L[j,k] != 0.
             for k in sym.row_struct[j]:
                 k = int(k)
                 base_k = int(colptr[k])
                 pos_jk = row_pos[k][j]
-                ljk = yield from self.lvals.read(base_k + pos_jk)
-                ljk = float(ljk)
+                lrd.addr = lbase + (base_k + pos_jk) * lword
+                yield lrd
+                ljk = float(ldata[base_k + pos_jk])
                 struct_k = sym.col_struct[k]
                 for kk in range(pos_jk, len(struct_k)):
                     i = int(struct_k[kk])
-                    lik = yield from self.lvals.read(base_k + kk)
-                    acc[i] -= ljk * float(lik)
-                    yield Compute(FMA + LOOP_OVERHEAD)
+                    lrd.addr = lbase + (base_k + kk) * lword
+                    yield lrd
+                    acc[i] -= ljk * float(ldata[base_k + kk])
+                    yield _C_CMOD
             # cdiv(j): scale by the diagonal and publish the column.
             diag = sqrt(acc[j])
-            yield Compute(FSQRT)
-            yield from self.lvals.write(base_j, diag)
+            yield _C_SQRT
+            lwr.addr = lbase + base_j * lword
+            yield lwr
+            ldata[base_j] = diag
             for k, i in enumerate(struct[1:], start=1):
                 val = acc[int(i)] / diag
-                yield Compute(FDIV + LOOP_OVERHEAD)
-                yield from self.lvals.write(base_j + k, val)
+                yield _C_CDIV
+                lwr.addr = lbase + (base_j + k) * lword
+                yield lwr
+                ldata[base_j + k] = val
             # Publish readiness: dependents of j are exactly the rows of
             # column j's off-diagonal structure.  task_done comes last so
             # the outstanding count never transiently reaches zero while
@@ -133,7 +156,7 @@ class Cholesky(Application):
                 yield from lock.release()
                 if remaining == 0:
                     yield from self.pool.add_task(d)
-                yield Compute(LOOP_OVERHEAD)
+                yield _C_LOOP
             yield from self.pool.task_done()
 
     # ------------------------------------------------------------------

@@ -23,6 +23,13 @@ from ..workloads.keys import nas_keys
 from .base import Application
 from .costs import INT_OP, LOOP_OVERHEAD
 
+# Constant-cost Compute ops shared by every yield of the same site; the
+# engine consumes .cycles before the generator resumes and never mutates
+# the op, so a single immutable instance per cost is safe.
+_C_KEY = Compute(12 * INT_OP + LOOP_OVERHEAD)
+_C_ACC = Compute(INT_OP + LOOP_OVERHEAD)
+_C_PREFIX = Compute(2 * INT_OP + LOOP_OVERHEAD)
+
 
 def bucket_stable_ranks(keys: np.ndarray, nbuckets: int, max_key: int) -> np.ndarray:
     """Reference ranks: stable sort by bucket then original index."""
@@ -84,16 +91,24 @@ class IntegerSort(Application):
         pid = ctx.pid
         lo, hi = self._slice(pid, p, self.n)
 
+        mk = self.max_key
+        # Zero-call access paths for the per-key loops (see
+        # SharedArray.hot_access).
+        krd, _, kbase, kword, kdata = self.keys.hot_access()
+        hrd, _, hbase, hword, hdata = self.hist.hot_access()
+
         # Phase 1: local histogram of this processor's key slice.
         yield from ctx.phase("histogram")
         local_hist = [0] * b
         my_keys: list[int] = []
         for i in range(lo, hi):
-            k = yield from self.keys.read(i)
-            my_keys.append(int(k))
-            local_hist[self._bucket(int(k))] += 1
+            krd.addr = kbase + i * kword
+            yield krd
+            ki = int(kdata[i])
+            my_keys.append(ki)
+            local_hist[ki * b // mk] += 1
             # bucket index arithmetic, bounds checks, loop control
-            yield Compute(12 * INT_OP + LOOP_OVERHEAD)
+            yield _C_KEY
         yield from self.hist.write_range(pid * b, local_hist)
         yield Compute(b * LOOP_OVERHEAD)
         yield from self.barrier.wait()
@@ -104,8 +119,11 @@ class IntegerSort(Application):
         for bucket in range(blo, bhi):
             total = 0
             for q in range(p):
-                total += int((yield from self.hist.read(q * b + bucket)))
-                yield Compute(INT_OP + LOOP_OVERHEAD)
+                idx = q * b + bucket
+                hrd.addr = hbase + idx * hword
+                yield hrd
+                total += int(hdata[idx])
+                yield _C_ACC
             yield from self.gcount.write(bucket, total)
         yield from self.barrier.wait()
 
@@ -116,24 +134,30 @@ class IntegerSort(Application):
             for bucket in range(b):
                 yield from self.gstart.write(bucket, running)
                 running += int((yield from self.gcount.read(bucket)))
-                yield Compute(2 * INT_OP + LOOP_OVERHEAD)
+                yield _C_PREFIX
         yield from self.barrier.wait()
 
         # Phase 4: rank own keys.  Offset of this processor within each
         # bucket = global bucket start + counts of lower-numbered procs.
         yield from ctx.phase("rank")
         offsets: dict[int, int] = {}
-        for bucket in sorted(set(self._bucket(k) for k in my_keys)):
+        for bucket in sorted(set(k * b // mk for k in my_keys)):
             start = int((yield from self.gstart.read(bucket)))
             for q in range(pid):
-                start += int((yield from self.hist.read(q * b + bucket)))
-                yield Compute(INT_OP + LOOP_OVERHEAD)
+                hidx = q * b + bucket
+                hrd.addr = hbase + hidx * hword
+                yield hrd
+                start += int(hdata[hidx])
+                yield _C_ACC
             offsets[bucket] = start
+        _, rwr, rbase, rword, rdata = self.ranks.hot_access()
         for idx, k in enumerate(my_keys):
-            bucket = self._bucket(k)
-            yield from self.ranks.write(lo + idx, offsets[bucket])
+            bucket = k * b // mk
+            rwr.addr = rbase + (lo + idx) * rword
+            yield rwr
+            rdata[lo + idx] = offsets[bucket]
             offsets[bucket] += 1
-            yield Compute(12 * INT_OP + LOOP_OVERHEAD)
+            yield _C_KEY
         yield from self.barrier.wait()
 
     # ------------------------------------------------------------------

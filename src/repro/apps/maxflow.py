@@ -28,6 +28,14 @@ _LOCAL_HIGH = 8
 #: Cycles of backoff between termination-check polls.
 _POLL_BACKOFF = 200.0
 
+# Constant-cost Compute ops shared by every yield of the same site; the
+# engine consumes .cycles before the generator resumes and never mutates
+# the op, so a single immutable instance per cost is safe.
+_C_POLL = Compute(_POLL_BACKOFF)
+_C_DISPATCH = Compute(DISPATCH)
+_C_ARC = Compute(2 * INT_OP + LOOP_OVERHEAD)
+_C_PUSH = Compute(6 * INT_OP)
+
 
 class Maxflow(Application):
     """Push-relabel max-flow with local queues + global load balancing."""
@@ -109,9 +117,9 @@ class Maxflow(Application):
                     remaining = yield from self.active_count.get()
                     if remaining <= 0:
                         break
-                    yield Compute(_POLL_BACKOFF)
+                    yield _C_POLL
                     continue
-            yield Compute(DISPATCH)
+            yield _C_DISPATCH
             newly_active = yield from self._discharge(ctx, v)
             for w in newly_active:
                 local.append(w)
@@ -130,31 +138,50 @@ class Maxflow(Application):
         """
         net = self.net
         s, t = net.source, net.sink
+        # Zero-call access paths for the optimistic scan (see
+        # SharedArray.hot_access); the locked re-validation paths in
+        # _push/_relabel keep the generator API.
+        erd, _, ebase, eword, edata = self.excess.hot_access()
+        hrd, _, hbase, hword, hdata = self.height.hot_access()
+        crd, _, cbase, cword, cdata = self.cap.hot_access()
+        frd, _, fbase, fword, fdata = self.flow.hot_access()
         new_active: list[int] = []
         while True:
-            ev = yield from self.excess.read(v)
+            erd.addr = ebase + v * eword
+            yield erd
+            ev = edata[v]
             if ev <= 0:
                 break
             pushed = False
-            hv = yield from self.height.read(v)
+            hrd.addr = hbase + v * hword
+            yield hrd
+            hv = hdata[v]
             for e in net.adj[v]:
                 e = int(e)
                 if int(net.tail[e]) != v:
                     continue
                 w = int(net.head[e])
-                yield Compute(2 * INT_OP + LOOP_OVERHEAD)
-                hw = yield from self.height.read(w)
+                yield _C_ARC
+                hrd.addr = hbase + w * hword
+                yield hrd
+                hw = hdata[w]
                 if hv != hw + 1:
                     continue
-                c = yield from self.cap.read(e)
-                f = yield from self.flow.read(e)
+                crd.addr = cbase + e * cword
+                yield crd
+                c = cdata[e]
+                frd.addr = fbase + e * fword
+                yield frd
+                f = fdata[e]
                 if c - f <= 0:
                     continue
                 woke = yield from self._push(v, w, e)
                 if woke is not None:
                     new_active.append(woke)
                 pushed = True
-                ev = yield from self.excess.read(v)
+                erd.addr = ebase + v * eword
+                yield erd
+                ev = edata[v]
                 if ev <= 0:
                     break
             if ev <= 0:
@@ -195,7 +222,7 @@ class Maxflow(Application):
         c = yield from self.cap.read(e)
         f = yield from self.flow.read(e)
         delta = min(ev, c - f)
-        yield Compute(6 * INT_OP)
+        yield _C_PUSH
         if delta > 0 and hv == hw + 1:
             yield from self.flow.write(e, f + delta)
             fr = yield from self.flow.read(e ^ 1)
@@ -225,7 +252,7 @@ class Maxflow(Application):
                 continue
             c = yield from self.cap.read(e)
             f = yield from self.flow.read(e)
-            yield Compute(2 * INT_OP + LOOP_OVERHEAD)
+            yield _C_ARC
             if c - f <= 0:
                 continue
             hw = yield from self.height.read(int(net.head[e]))

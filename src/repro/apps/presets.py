@@ -29,7 +29,7 @@ from .factory import AppFactory
 Preset = dict[str, tuple[Callable[[], Application], bool]]
 
 #: Named preset scales, for CLI/bench selection.
-SCALES = ("smoke", "default", "paper")
+SCALES = ("smoke", "default", "large", "paper")
 
 
 def paper_scale() -> Preset:
@@ -52,6 +52,22 @@ def default_scale() -> Preset:
     }
 
 
+def large_scale() -> Preset:
+    """~10x the default workloads, for the P=64/256 scaling regime.
+
+    Sized so overhead decompositions stay discriminating as the machine
+    grows: every application carries enough parallel slack (keys,
+    columns, vertices, bodies) to keep 64-256 processors busy, at
+    roughly an order of magnitude more simulated work than ``default``.
+    """
+    return {
+        "Cholesky": (AppFactory("Cholesky", grid=(20, 20)), False),
+        "IS": (AppFactory("IS", n_keys=20480, nbuckets=256), False),
+        "Maxflow": (AppFactory("Maxflow", n=150, extra_edges=300, seed=0), True),
+        "Nbody": (AppFactory("Nbody", n_bodies=512, steps=10, boost_interval=5), True),
+    }
+
+
 def smoke_scale() -> Preset:
     """Tiny inputs for fast tests."""
     return {
@@ -65,6 +81,11 @@ def smoke_scale() -> Preset:
 def preset(scale: str) -> Preset:
     """Look up a preset by scale name (one of :data:`SCALES`)."""
     try:
-        return {"smoke": smoke_scale, "default": default_scale, "paper": paper_scale}[scale]()
+        return {
+            "smoke": smoke_scale,
+            "default": default_scale,
+            "large": large_scale,
+            "paper": paper_scale,
+        }[scale]()
     except KeyError:
         raise ValueError(f"unknown scale {scale!r}; choose from {', '.join(SCALES)}") from None

@@ -66,20 +66,58 @@ class QuadTree:
         return q, ccx, ccy
 
     def _insert(self, nid: int, b: int, xs, ys, ms, depth: int) -> None:
-        if self.body[nid] == -1 and all(
-            self.child[4 * nid + q] == -1 for q in range(4)
-        ):
-            self.body[nid] = b  # empty leaf
-            return
-        if self.body[nid] >= 0:
-            old = self.body[nid]
-            if depth >= MAX_DEPTH:
-                # Coincident bodies: aggregate into the resident body.
-                ms[old] += ms[b]
+        # Iterative descent (the build phase dominates the Nbody host
+        # profile).  Node-creation order matches the recursive original:
+        # a displaced resident body is pushed down before ``b`` descends,
+        # so node ids — and therefore traversal order — are unchanged.
+        body = self.body
+        child = self.child
+        cxs = self.cx
+        cys = self.cy
+        halves = self.half
+        x = xs[b]
+        y = ys[b]
+        while True:
+            i4 = 4 * nid
+            resident = body[nid]
+            if (
+                resident == -1
+                and child[i4] == -1
+                and child[i4 + 1] == -1
+                and child[i4 + 2] == -1
+                and child[i4 + 3] == -1
+            ):
+                body[nid] = b  # empty leaf
                 return
-            self.body[nid] = -1
-            self._push_down(nid, old, xs, ys, ms, depth)
-        self._push_down(nid, b, xs, ys, ms, depth)
+            if resident >= 0:
+                if depth >= MAX_DEPTH:
+                    # Coincident bodies: aggregate into the resident body.
+                    ms[resident] += ms[b]
+                    return
+                body[nid] = -1
+                self._push_down(nid, resident, xs, ys, ms, depth)
+            # Descend into b's quadrant (inlined _push_down tail call).
+            h = halves[nid] / 2.0
+            cx = cxs[nid]
+            cy = cys[nid]
+            if x >= cx:
+                q = 1
+                ccx = cx + h
+            else:
+                q = 0
+                ccx = cx - h
+            if y >= cy:
+                q |= 2
+                ccy = cy + h
+            else:
+                ccy = cy - h
+            slot = i4 + q
+            c = child[slot]
+            if c == -1:
+                c = self._new_node(ccx, ccy, h)
+                child[slot] = c
+            nid = c
+            depth += 1
 
     def _push_down(self, nid: int, b: int, xs, ys, ms, depth: int) -> None:
         q, ccx, ccy = self._quadrant(nid, xs[b], ys[b])

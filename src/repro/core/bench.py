@@ -38,6 +38,9 @@ BENCH_FILE = "BENCH_parallel.json"
 #: Name of the observability-overhead trajectory file.
 TRACE_BENCH_FILE = "BENCH_trace.json"
 
+#: Name of the raw engine-throughput trajectory file.
+ENGINE_BENCH_FILE = "BENCH_engine.json"
+
 
 def bench_specs(
     scale: str = "default",
@@ -110,6 +113,115 @@ def run_bench(
     if out is not None:
         Path(out).write_text(json.dumps(doc, indent=2) + "\n")
     return doc
+
+
+def run_engine_bench(
+    scale: str = "default",
+    nprocs: int = 16,
+    reps: int = 3,
+    systems: tuple[str, ...] = PAPER_SYSTEMS,
+    out: str | os.PathLike | None = ENGINE_BENCH_FILE,
+    extra: dict | None = None,
+) -> dict:
+    """Measure raw engine throughput: simulated events per wall second.
+
+    Runs the whole preset suite (every application x every paper memory
+    system) *in-process* — no worker pool, no result cache — because the
+    quantity of interest is the scheduler/memory-system hot path itself.
+    The suite executes ``reps`` times and the best rep is kept (the
+    stable estimator on a noisy host); rep 1 additionally warms
+    allocator and bytecode caches.  Verification is skipped: it is
+    host-side numpy work that would dilute the engine measurement (the
+    suite's correctness is pinned by the test battery).
+
+    Absolute events/sec is machine- and load-dependent.  Trajectory
+    docs are only comparable like-for-like: same host class, same
+    ``scale``/``nprocs``, ideally interleaved measurement (see the
+    ``seed_comparison`` block the committed baseline carries).
+    """
+    cfg = MachineConfig(nprocs=nprocs)
+    apps = preset(scale)
+    walls: list[float] = []
+    events = 0
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        total = 0
+        for factory, _ in apps.values():
+            for system in systems:
+                app = factory()
+                machine = Machine(cfg, system)
+                app.setup(machine)
+                total += machine.run(app.worker).ops
+        walls.append(time.perf_counter() - t0)
+        events = total
+    best = min(walls)
+    doc = {
+        "bench": "engine-throughput",
+        "scale": scale,
+        "nprocs": nprocs,
+        "systems": list(systems),
+        "reps": len(walls),
+        "events": events,
+        "wall_s": round(best, 4),
+        "wall_s_all_reps": [round(w, 4) for w in walls],
+        "events_per_sec": round(events / best, 1) if best > 0 else None,
+        "cpu_count": os.cpu_count(),
+    }
+    if extra:
+        doc.update(extra)
+    if out is not None:
+        Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def check_engine_regression(
+    doc: dict, baseline: dict, tolerance: float = 0.2
+) -> tuple[bool, str]:
+    """Compare a fresh engine-bench doc against a committed baseline.
+
+    Returns ``(ok, message)``; ``ok`` is False when the fresh
+    events/sec fell more than ``tolerance`` below the baseline's.
+    Docs measured at a different scale or machine size are not
+    comparable — that case passes with an explanatory message rather
+    than failing on apples-to-oranges numbers.
+    """
+    for key in ("scale", "nprocs"):
+        if doc.get(key) != baseline.get(key):
+            return True, (
+                f"baseline not comparable ({key}: {baseline.get(key)!r} vs "
+                f"{doc.get(key)!r}); regression check skipped"
+            )
+    base = baseline.get("events_per_sec") or 0.0
+    cur = doc.get("events_per_sec") or 0.0
+    if base <= 0:
+        return True, "baseline carries no events/sec; regression check skipped"
+    ratio = cur / base
+    msg = (
+        f"engine throughput {cur:,.0f} ev/s vs baseline {base:,.0f} ev/s "
+        f"({ratio:.2f}x, tolerance -{tolerance:.0%})"
+    )
+    if ratio < 1.0 - tolerance:
+        return False, "REGRESSION: " + msg
+    return True, msg
+
+
+def format_engine_bench(doc: dict) -> str:
+    """Human-readable summary of an engine-throughput trajectory."""
+    lines = [
+        f"engine throughput: {doc['events']:,} simulated events "
+        f"({doc['scale']} scale, P={doc['nprocs']}, "
+        f"{len(doc['systems'])} systems), best of {doc['reps']}",
+        f"  wall {doc['wall_s']:.3f}s -> {doc['events_per_sec']:,.0f} events/sec",
+    ]
+    seed = doc.get("seed_comparison")
+    if seed:
+        lines.append(
+            f"  vs seed engine ({seed.get('commit', '?')}): "
+            f"{seed.get('speedup_best', '?')}x best, "
+            f"{seed.get('speedup_median', '?')}x median "
+            f"({seed.get('methodology', '')})"
+        )
+    return "\n".join(lines)
 
 
 def _observed_run(factory, system: str, cfg: MachineConfig, mode: str, interval: float):
@@ -222,10 +334,14 @@ def format_bench(doc: dict) -> str:
 
 __all__ = [
     "BENCH_FILE",
+    "ENGINE_BENCH_FILE",
     "TRACE_BENCH_FILE",
     "bench_specs",
+    "check_engine_regression",
     "format_bench",
+    "format_engine_bench",
     "format_trace_bench",
     "run_bench",
+    "run_engine_bench",
     "run_trace_bench",
 ]

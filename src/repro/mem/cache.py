@@ -51,6 +51,8 @@ class CacheLine:
 class Cache:
     """A single processor's cache: block -> CacheLine, optional LRU bound."""
 
+    __slots__ = ("capacity", "_lines", "evictions")
+
     def __init__(self, capacity_lines: int | None = None):
         if capacity_lines is not None and capacity_lines < 1:
             raise ValueError("capacity_lines must be >= 1 or None")
@@ -69,6 +71,10 @@ class Cache:
 
         Applies any pending invalidation whose arrival time has passed,
         and refreshes LRU recency on a hit.
+
+        The hot read paths of the memory systems (``rcinv``/``rcupd``/
+        ``rcadapt``) inline this exact sequence against ``_lines``
+        directly — keep them in lockstep with any change here.
         """
         line = self._lines.get(block)
         if line is None:

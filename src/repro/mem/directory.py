@@ -71,6 +71,8 @@ class DirEntry:
 class Directory:
     """block -> DirEntry map, created on demand."""
 
+    __slots__ = ("_entries",)
+
     def __init__(self) -> None:
         self._entries: dict[int, DirEntry] = {}
 

@@ -29,6 +29,20 @@ class BaseMemorySystem:
         self.line_size = config.line_size
         self.directory = Directory()
         self.caches = [Cache(config.cache_lines) for _ in range(config.nprocs)]
+        #: Precomputed per-access costs: frozen-dataclass field reads are
+        #: attribute chases on the hot path, so the constant costs are
+        #: copied onto the system once at construction.
+        self._hit_cycles = config.cache_hit_cycles
+        self._mem_access_cycles = config.mem_access_cycles
+        #: Flyweight result reused for every stall-free hit — a hit is by
+        #: far the most common outcome, and allocating a fresh
+        #: AccessResult per hit dominated the access-path profile.
+        #: Consumers (engine, tracers, checkers) read results before the
+        #: next access on this system; the engine copies for ReadNB.
+        self._hit_result = AccessResult(0.0, hit=True)
+        #: Flyweight for zero-cost sync ops (acquire, SC release) under
+        #: the same read-before-next-access contract.
+        self._sync_result = AccessResult(0.0)
         #: Per-processor time by which all of its issued coherence
         #: fan-outs (invalidations/updates + acks) have completed.  Write
         #: buffer entries retire when the *home* acknowledges (pipelined,
@@ -69,7 +83,9 @@ class BaseMemorySystem:
         barrier episode, ...); the protocol models ignore it, decorators
         such as :class:`repro.sim.trace.TracingMemory` record it.
         """
-        return AccessResult(time=now)
+        res = self._sync_result
+        res.time = now
+        return res
 
     def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
         raise NotImplementedError
@@ -110,7 +126,9 @@ class BaseMemorySystem:
     # transaction building blocks
     # ------------------------------------------------------------------
     def _hit(self, now: float) -> AccessResult:
-        return AccessResult(time=now + self.config.cache_hit_cycles, hit=True)
+        res = self._hit_result
+        res.time = now + self._hit_cycles
+        return res
 
     def _fetch_line(self, proc: int, block: int, now: float) -> float:
         """Read-miss transaction; returns data arrival time at ``proc``.
@@ -120,16 +138,15 @@ class BaseMemorySystem:
         data (cache-to-cache), else the home replies from memory.
         Side effect: ``proc`` becomes a sharer.
         """
-        cfg = self.config
         net = self.network
         home = self.home_of(block)
         entry = self.directory.entry(block)
         t = net.transfer(proc, home, 0, now)
-        t += cfg.mem_access_cycles
+        t += self._mem_access_cycles
         owner = entry.owner
         if owner is not None and owner != proc:
             t = net.transfer(home, owner, 0, t)
-            t += cfg.cache_hit_cycles
+            t += self._hit_cycles
             arrival = net.transfer(owner, proc, self.line_size, t)
         else:
             arrival = net.transfer(home, proc, self.line_size, t)
@@ -150,13 +167,13 @@ class BaseMemorySystem:
         victims = entry.sharer_list(exclude=requester)
         ack_done = start
         if victims:
-            arrivals = net.multicast(home, victims, 0, start)
-            for victim, arr in arrivals.items():
-                self.caches[victim].invalidate_at(block, arr)
-                ack = net.transfer(victim, home, 0, arr)
-                if ack > ack_done:
-                    ack_done = ack
+            caches = self.caches
+
+            def on_arrival(victim: int, arr: float) -> None:
+                caches[victim].invalidate_at(block, arr)
                 entry.remove_sharer(victim)
+
+            _, ack_done = net.fanout(home, victims, 0, start, on_arrival)
             self.invalidations_sent += len(victims)
         owner = entry.owner
         if owner is not None and owner != requester:
@@ -185,12 +202,11 @@ class BaseMemorySystem:
         Side effects: other copies invalidated, ``proc`` becomes dirty
         owner with a valid line.
         """
-        cfg = self.config
         net = self.network
         home = self.home_of(block)
         entry = self.directory.entry(block)
         t = net.transfer(proc, home, 0, start)
-        t += cfg.mem_access_cycles
+        t += self._mem_access_cycles
         acks_done = self._invalidate_sharers(block, proc, t, home)
         # Grant (with data if the requester lacks the line); the home does
         # not wait for acks before granting in the pipelined mode.
@@ -228,19 +244,17 @@ class BaseMemorySystem:
         entry = self.directory.entry(block)
         payload = nwords * cfg.word_size
         t = net.transfer(proc, home, payload, start)
-        t += cfg.mem_access_cycles
+        t += self._mem_access_cycles
         if t > entry.avail_time:
             entry.avail_time = t  # data fetchable from home from here on
         retire = net.transfer(home, proc, 0, t)
         targets = entry.sharer_list(exclude=proc)
         ack_done = t
         if targets:
-            arrivals = net.multicast(home, targets, payload, t)
-            for victim, arr in arrivals.items():
-                self._deliver_update(victim, block, arr)
-                ack = net.transfer(victim, home, 0, arr)
-                if ack > ack_done:
-                    ack_done = ack
+            _, ack_done = net.fanout(
+                home, targets, payload, t,
+                lambda victim, arr: self._deliver_update(victim, block, arr),
+            )
             self.updates_sent += len(targets)
         if ack_done > self.fanout_done[proc]:
             self.fanout_done[proc] = ack_done

@@ -38,14 +38,28 @@ class RCAdapt(RCUpd):
 
     # ------------------------------------------------------------------
     def read(self, proc: int, addr: int, now: float) -> AccessResult:
-        block = self.block_of(addr)
+        block = addr // self.line_size
         cache = self.caches[proc]
-        line = cache.lookup(block, now)
+        # Inlined Cache.lookup (see its docstring): lazy invalidation +
+        # LRU refresh, without the per-read method call.
+        lines = cache._lines
+        line = lines.get(block)
         if line is not None:
-            line.updates_since_read = 0
-            return self._hit(now)
+            inval = line.inval_at
+            if inval is not None and now >= inval:
+                del lines[block]
+            else:
+                if cache.capacity is not None:
+                    del lines[block]
+                    lines[block] = line
+                line.updates_since_read = 0
+                res = self._hit_result
+                res.time = now + self._hit_cycles
+                return res
         if self.merge_buffers[proc].has(block) or self.store_buffers[proc].has_pending(block):
-            return self._hit(now)
+            res = self._hit_result
+            res.time = now + self._hit_cycles
+            return res
         arrival = self._adaptive_fetch(proc, block, now)
         self._insert_line(proc, block, SHARED, now)
         return AccessResult(

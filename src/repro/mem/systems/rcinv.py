@@ -35,9 +35,20 @@ class RCInv(BaseMemorySystem):
     # ------------------------------------------------------------------
     def read(self, proc: int, addr: int, now: float) -> AccessResult:
         cfg = self.config
-        block = self.block_of(addr)
+        block = addr // self.line_size
         cache = self.caches[proc]
-        line = cache.lookup(block, now)
+        # Inlined Cache.lookup (see its docstring): lazy invalidation +
+        # LRU refresh, without the per-read method call.
+        lines = cache._lines
+        line = lines.get(block)
+        if line is not None:
+            inval = line.inval_at
+            if inval is not None and now >= inval:
+                del lines[block]
+                line = None
+            elif cache.capacity is not None:
+                del lines[block]
+                lines[block] = line
         if line is not None:
             if line.ready_at > 0.0:
                 # First touch of a prefetched line: stall for whatever of
@@ -49,10 +60,14 @@ class RCInv(BaseMemorySystem):
                     self._prefetch(proc, block, now)
                 return AccessResult(time=done, read_stall=stall, hit=stall == 0.0)
             line.updates_since_read = 0
-            return self._hit(now)
+            res = self._hit_result
+            res.time = now + self._hit_cycles
+            return res
         if self.store_buffers[proc].has_pending(block):
             # Forward the value from the processor's own store buffer.
-            return self._hit(now)
+            res = self._hit_result
+            res.time = now + self._hit_cycles
+            return res
         arrival = self._fetch_line(proc, block, now)
         self._insert_line(proc, block, SHARED, now)
         if cfg.prefetch_depth:
@@ -75,8 +90,7 @@ class RCInv(BaseMemorySystem):
 
     # ------------------------------------------------------------------
     def write(self, proc: int, addr: int, now: float) -> AccessResult:
-        cfg = self.config
-        block = self.block_of(addr)
+        block = addr // self.line_size
         cache = self.caches[proc]
         line = cache.lookup(block, now)
         entry = self.directory.entry(block)
@@ -90,17 +104,21 @@ class RCInv(BaseMemorySystem):
             # Exclusive hit (dirty and no other sharer): complete locally.
             # If a reader has since fetched a copy the write must go back
             # through the directory to invalidate it.
-            return AccessResult(time=now + cfg.cache_hit_cycles, hit=True)
+            res = self._hit_result
+            res.time = now + self._hit_cycles
+            return res
         if self.store_buffers[proc].has_pending(block):
             # Ownership already being acquired for this block: coalesce.
-            return AccessResult(time=now + cfg.cache_hit_cycles, hit=True)
+            res = self._hit_result
+            res.time = now + self._hit_cycles
+            return res
         proceed, stall = self.store_buffers[proc].push(
             now,
             lambda start: self._ownership_transaction(proc, block, start),
             block=block,
         )
         return AccessResult(
-            time=proceed + cfg.cache_hit_cycles, write_stall=stall, hit=False
+            time=proceed + self._hit_cycles, write_stall=stall, hit=False
         )
 
     # ------------------------------------------------------------------

@@ -33,14 +33,28 @@ class RCUpd(BaseMemorySystem):
 
     # ------------------------------------------------------------------
     def read(self, proc: int, addr: int, now: float) -> AccessResult:
-        block = self.block_of(addr)
+        block = addr // self.line_size
         cache = self.caches[proc]
-        line = cache.lookup(block, now)
+        # Inlined Cache.lookup (see its docstring): lazy invalidation +
+        # LRU refresh, without the per-read method call.
+        lines = cache._lines
+        line = lines.get(block)
         if line is not None:
-            line.updates_since_read = 0
-            return self._hit(now)
+            inval = line.inval_at
+            if inval is not None and now >= inval:
+                del lines[block]
+            else:
+                if cache.capacity is not None:
+                    del lines[block]
+                    lines[block] = line
+                line.updates_since_read = 0
+                res = self._hit_result
+                res.time = now + self._hit_cycles
+                return res
         if self.merge_buffers[proc].has(block) or self.store_buffers[proc].has_pending(block):
-            return self._hit(now)
+            res = self._hit_result
+            res.time = now + self._hit_cycles
+            return res
         arrival = self._fetch_line(proc, block, now)
         self._insert_line(proc, block, SHARED, now)
         return AccessResult(
@@ -50,8 +64,9 @@ class RCUpd(BaseMemorySystem):
     # ------------------------------------------------------------------
     def write(self, proc: int, addr: int, now: float) -> AccessResult:
         cfg = self.config
-        block = self.block_of(addr)
-        word = self.word_of(addr)
+        line_size = self.line_size
+        block = addr // line_size
+        word = (addr % line_size) // cfg.word_size
         entry = self.directory.entry(block)
         entry.write_count += 1
         # Write-validate: the writer keeps (or allocates) a local copy
@@ -62,16 +77,18 @@ class RCUpd(BaseMemorySystem):
             self._insert_line(proc, block, SHARED, now)
         entry.add_sharer(proc)
         evicted = self.merge_buffers[proc].write(block, word, now)
-        stall = 0.0
-        proceed = now
-        if evicted is not None:
-            proceed, stall = self.store_buffers[proc].push(
-                now,
-                lambda start: self._update_transaction(
-                    proc, evicted.block, evicted.nwords, start
-                ),
-                block=evicted.block,
-            )
+        if evicted is None:
+            # Merged (or opened a fresh line): complete locally, no stall.
+            res = self._hit_result
+            res.time = now + self._hit_cycles
+            return res
+        proceed, stall = self.store_buffers[proc].push(
+            now,
+            lambda start: self._update_transaction(
+                proc, evicted.block, evicted.nwords, start
+            ),
+            block=evicted.block,
+        )
         return AccessResult(
             time=proceed + cfg.cache_hit_cycles, write_stall=stall, hit=stall == 0.0
         )

@@ -20,10 +20,12 @@ class SCInv(BaseMemorySystem):
     name = "SCinv"
 
     def read(self, proc: int, addr: int, now: float) -> AccessResult:
-        block = self.block_of(addr)
+        block = addr // self.line_size
         line = self.caches[proc].lookup(block, now)
         if line is not None:
-            return self._hit(now)
+            res = self._hit_result
+            res.time = now + self._hit_cycles
+            return res
         arrival = self._fetch_line(proc, block, now)
         self._insert_line(proc, block, SHARED, now)
         return AccessResult(
@@ -32,7 +34,7 @@ class SCInv(BaseMemorySystem):
 
     def write(self, proc: int, addr: int, now: float) -> AccessResult:
         cfg = self.config
-        block = self.block_of(addr)
+        block = addr // self.line_size
         line = self.caches[proc].lookup(block, now)
         entry = self.directory.entry(block)
         entry.write_count += 1
@@ -42,7 +44,7 @@ class SCInv(BaseMemorySystem):
             and entry.owner == proc
             and entry.sharers == 1 << proc
         ):
-            return AccessResult(time=now + cfg.cache_hit_cycles, hit=True)
+            return self._hit(now)
         done = self._ownership_transaction(proc, block, now, pipelined=False)
         return AccessResult(
             time=done + cfg.cache_hit_cycles, write_stall=done - now
@@ -50,4 +52,6 @@ class SCInv(BaseMemorySystem):
 
     def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
         # Writes already completed in program order: nothing to drain.
-        return AccessResult(time=now)
+        res = self._sync_result
+        res.time = now
+        return res

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class NetStats:
     """Aggregate traffic counters for one simulation run."""
 
@@ -66,6 +66,33 @@ class Network:
             arrivals[dst] = self.transfer(src, dst, nbytes, inject)
             inject += self.serialisation_time(nbytes)
         return arrivals
+
+    def fanout(
+        self, src: int, dsts: list[int], nbytes: int, start: float,
+        on_arrival=None,
+    ) -> tuple[dict[int, float], float]:
+        """Serialised multicast plus a zero-byte ack from each destination.
+
+        Equivalent to :meth:`multicast` followed by, per destination in
+        order, ``on_arrival(dst, arrival)`` (when given) and then
+        ``transfer(dst, src, 0, arrival)`` — the same link-reservation
+        sequence as the unfused helpers, fused because the coherence
+        fan-outs (invalidate + ack, update + ack) are the dominant
+        transfer pattern.  ``on_arrival`` runs *before* the ack is routed
+        because delivery side effects may inject traffic of their own
+        (e.g. a competitive-update replacement hint).  Returns
+        ``(arrivals, ack_done)`` where ``ack_done`` is the latest ack
+        arrival at ``src`` (``start`` if ``dsts`` is empty).
+        """
+        arrivals = self.multicast(src, dsts, nbytes, start)
+        ack_done = start
+        for dst, arr in arrivals.items():
+            if on_arrival is not None:
+                on_arrival(dst, arr)
+            ack = self.transfer(dst, src, 0, arr)
+            if ack > ack_done:
+                ack_done = ack
+        return arrivals, ack_done
 
     def serialisation_time(self, nbytes: int) -> float:
         """Cycles to put ``nbytes`` (plus header) onto a link."""

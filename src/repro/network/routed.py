@@ -33,29 +33,137 @@ class RoutedNetwork(Network):
         self.cycles_per_byte = cycles_per_byte
         self.header_bytes = header_bytes
         self.router_delay = router_delay
-        self._link_free: dict[tuple[int, int], float] = {}
+        #: Directed link -> dense integer id; reservations live in the
+        #: list below so the per-hop bookkeeping is a list index instead
+        #: of a tuple-keyed dict probe.
+        self._link_ids: dict[tuple[int, int], int] = {}
+        self._link_free: list[float] = []
+        #: ``src << 20 | dst`` -> precomputed route as link-id tuple.
+        #: Topologies are static and deterministic, yet route() rebuilds
+        #: the hop list per message — ~15% of a protocol-bound run's
+        #: profile before caching.
+        self._routes: dict[int, tuple[int, ...]] = {}
 
     def serialisation_time(self, nbytes: int) -> float:
         return (nbytes + self.header_bytes) * self.cycles_per_byte
 
+    def _route(self, src: int, dst: int) -> tuple[int, ...]:
+        link_ids = self._link_ids
+        ids = []
+        for link in self.topology.route(src, dst):
+            lid = link_ids.get(link)
+            if lid is None:
+                lid = len(self._link_free)
+                link_ids[link] = lid
+                self._link_free.append(0.0)
+            ids.append(lid)
+        route = tuple(ids)
+        self._routes[src << 20 | dst] = route
+        return route
+
     def transfer(self, src: int, dst: int, nbytes: int, start: float) -> float:
+        stats = self.stats
         if src == dst:
             # Local delivery: no network traversal.
-            self.stats.record(nbytes, 0.0, 0.0, 0.0)
+            stats.messages += 1
+            stats.bytes += nbytes
             return start
-        ser = self.serialisation_time(nbytes)
+        ser = (nbytes + self.header_bytes) * self.cycles_per_byte
+        router_delay = self.router_delay
         head = start
         queued = 0.0
+        route = self._routes.get(src << 20 | dst)
+        if route is None:
+            route = self._route(src, dst)
         link_free = self._link_free
-        for link in self.topology.route(src, dst):
-            free_at = link_free.get(link, 0.0)
+        for lid in route:
+            free_at = link_free[lid]
             depart = free_at if free_at > head else head
             queued += depart - head
-            link_free[link] = depart + ser
-            head = depart + self.router_delay
+            link_free[lid] = depart + ser
+            head = depart + router_delay
         arrival = head + ser
-        self.stats.record(nbytes, arrival - start, ser, queued)
+        stats.messages += 1
+        stats.bytes += nbytes
+        stats.latency_cycles += arrival - start
+        stats.busy_cycles += ser
+        stats.contention_cycles += queued
         return arrival
+
+    def fanout(
+        self, src: int, dsts: list[int], nbytes: int, start: float,
+        on_arrival=None,
+    ) -> tuple[dict[int, float], float]:
+        # Hand-fused Network.fanout: one frame for the whole multicast +
+        # ack exchange, with routes/links/stats hoisted to locals.  The
+        # link reservations and the per-message stats updates happen in
+        # exactly the order of the generic version (all data messages,
+        # then per destination: on_arrival, then its ack), so timing and
+        # float-summed counters are bit-identical.  on_arrival may inject
+        # traffic itself; that is safe because the hoisted link/stats
+        # containers are the same mutable objects transfer() uses.
+        stats = self.stats
+        routes = self._routes
+        link_free = self._link_free
+        router_delay = self.router_delay
+        cpb = self.cycles_per_byte
+        hdr = self.header_bytes
+        ser = (nbytes + hdr) * cpb
+        ack_ser = hdr * cpb
+        arrivals: dict[int, float] = {}
+        inject = start
+        for dst in dsts:
+            if dst == src:
+                stats.messages += 1
+                stats.bytes += nbytes
+                arrivals[dst] = inject
+            else:
+                head = inject
+                queued = 0.0
+                route = routes.get(src << 20 | dst)
+                if route is None:
+                    route = self._route(src, dst)
+                for lid in route:
+                    free_at = link_free[lid]
+                    depart = free_at if free_at > head else head
+                    queued += depart - head
+                    link_free[lid] = depart + ser
+                    head = depart + router_delay
+                arrival = head + ser
+                stats.messages += 1
+                stats.bytes += nbytes
+                stats.latency_cycles += arrival - inject
+                stats.busy_cycles += ser
+                stats.contention_cycles += queued
+                arrivals[dst] = arrival
+            inject += ser
+        ack_done = start
+        for dst, arr in arrivals.items():
+            if on_arrival is not None:
+                on_arrival(dst, arr)
+            if dst == src:
+                stats.messages += 1
+                ack = arr
+            else:
+                head = arr
+                queued = 0.0
+                route = routes.get(dst << 20 | src)
+                if route is None:
+                    route = self._route(dst, src)
+                for lid in route:
+                    free_at = link_free[lid]
+                    depart = free_at if free_at > head else head
+                    queued += depart - head
+                    link_free[lid] = depart + ack_ser
+                    head = depart + router_delay
+                ack = head + ack_ser
+                stats.messages += 1
+                stats.latency_cycles += ack - arr
+                stats.busy_cycles += ack_ser
+                stats.contention_cycles += queued
+            if ack > ack_done:
+                ack_done = ack
+        return arrivals, ack_done
 
     def min_latency(self, src: int, dst: int, nbytes: int) -> float:
         """Zero-load latency between two nodes (useful for tests)."""
@@ -64,12 +172,27 @@ class RoutedNetwork(Network):
         hops = self.topology.hops(src, dst)
         return hops * self.router_delay + self.serialisation_time(nbytes)
 
+    def multicast(
+        self, src: int, dsts: list[int], nbytes: int, start: float
+    ) -> dict[int, float]:
+        # Same serialised-unicast model as Network.multicast with the
+        # serialisation time hoisted out of the fan-out loop.
+        arrivals: dict[int, float] = {}
+        inject = start
+        ser = (nbytes + self.header_bytes) * self.cycles_per_byte
+        transfer = self.transfer
+        for dst in dsts:
+            arrivals[dst] = transfer(src, dst, nbytes, inject)
+            inject += ser
+        return arrivals
+
     def reset(self) -> None:
         """Clear link reservations and statistics."""
-        self._link_free.clear()
+        self._link_free = [0.0] * len(self._link_free)
         self.reset_stats()
 
     @property
     def link_utilisation(self) -> dict[tuple[int, int], float]:
         """Latest reservation horizon per link (diagnostic)."""
-        return dict(self._link_free)
+        free = self._link_free
+        return {link: free[lid] for link, lid in self._link_ids.items()}

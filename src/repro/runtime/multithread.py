@@ -89,11 +89,9 @@ def interleave(
             pick = min(candidates, key=lambda i: ready_at[i])
             gap = ready_at[pick] - now
             if gap > 0:
-                fb = yield Stall(gap, "read")
-                now = fb[0]
+                now = yield Stall(gap, "read")
         if pick != current and current != -1 and switch_cost > 0:
-            fb = yield Compute(switch_cost)
-            now = fb[0]
+            now = yield Compute(switch_cost)
         current = pick
         ctx = contexts[pick]
 
@@ -119,13 +117,11 @@ def interleave(
                     pending_value[pick] = fb
                     break
                 if data_ready > now:
-                    fb = yield Stall(data_ready - now, "read")
-                    now = fb[0]
+                    now = yield Stall(data_ready - now, "read")
                 send_value = (now, res)
             elif cls is Compute or cls is Write:
-                fb = yield op
-                now = fb[0]
-                send_value = fb
+                now = yield op
+                send_value = now
             elif cls in (Acquire, Release, BarrierWait, Fence, ReadNB, Stall):
                 raise ContextError(
                     f"multithreaded contexts may not yield {op!r}; "

@@ -85,7 +85,8 @@ class SharedArray:
     models timing, so the Python heap carries the data (see DESIGN.md).
     """
 
-    __slots__ = ("shm", "base", "n", "name", "relaxed", "_data", "_word")
+    __slots__ = ("shm", "base", "n", "name", "relaxed", "_data", "_word",
+                 "_rd_op", "_wr_op")
 
     #: Accepted values for the ``relaxed`` access label.
     _RELAXED_LABELS = ("", "read", "all")
@@ -115,6 +116,13 @@ class SharedArray:
         self.relaxed = relaxed
         self._data = [fill] * n
         self._word = shm.config.word_size
+        # Reusable op instances for the simulated-access generators below.
+        # Safe because the engine consumes each yielded op (reads .addr,
+        # calls the memory system) before resuming the generator, and a
+        # generator mutates the op only between resumptions; per-access
+        # allocation was a measurable share of the event hot path.
+        self._rd_op = Read(0)
+        self._wr_op = Write(0)
 
     def __len__(self) -> int:
         return self.n
@@ -128,23 +136,51 @@ class SharedArray:
                 f"index {i} out of range for shared array {self.name!r} of size {self.n}"
             )
 
+    def hot_access(self) -> tuple:
+        """Hot-loop access bundle ``(read_op, write_op, base, word, data)``.
+
+        For per-element loops where the sub-generator created by
+        :meth:`read`/:meth:`write` is measurable overhead: set
+        ``read_op.addr = base + i * word``, ``yield read_op``, then index
+        ``data`` directly (``data`` is the same backing list the
+        generator methods use, so writes interleaved by other processors
+        stay visible).  For writes, mutate ``data`` only *after* yielding
+        the op, mirroring :meth:`write`.  Bounds are the caller's
+        responsibility.  The ops are this array's shared reusable
+        instances — the engine consumes a yielded op before the
+        generator resumes, so reuse across yields is safe.
+        """
+        return self._rd_op, self._wr_op, self.base, self._word, self._data
+
     # -- simulated accesses (generators; drive with ``yield from``) ----
     def read(self, i: int) -> Generator[Op, None, float]:
-        self._check(i)
-        yield Read(self.base + i * self._word)
+        if not 0 <= i < self.n:
+            self._check(i)
+        op = self._rd_op
+        op.addr = self.base + i * self._word
+        yield op
         return self._data[i]
 
     def write(self, i: int, value) -> Generator[Op, None, None]:
-        self._check(i)
-        yield Write(self.base + i * self._word)
+        if not 0 <= i < self.n:
+            self._check(i)
+        op = self._wr_op
+        op.addr = self.base + i * self._word
+        yield op
         self._data[i] = value
 
     def add(self, i: int, delta) -> Generator[Op, None, float]:
         """Read-modify-write convenience (not atomic; guard with a lock)."""
-        self._check(i)
-        yield Read(self.base + i * self._word)
+        if not 0 <= i < self.n:
+            self._check(i)
+        addr = self.base + i * self._word
+        op = self._rd_op
+        op.addr = addr
+        yield op
         value = self._data[i] + delta
-        yield Write(self.base + i * self._word)
+        wop = self._wr_op
+        wop.addr = addr
+        yield wop
         self._data[i] = value
         return value
 
@@ -152,10 +188,16 @@ class SharedArray:
         """Read elements ``start:stop``; one simulated access per word."""
         if not (0 <= start <= stop <= self.n):
             raise IndexError(f"range {start}:{stop} out of bounds for size {self.n}")
+        data = self._data
+        word = self._word
+        base = self.base
+        op = self._rd_op
         out = []
+        append = out.append
         for i in range(start, stop):
-            yield Read(self.base + i * self._word)
-            out.append(self._data[i])
+            op.addr = base + i * word
+            yield op
+            append(data[i])
         return out
 
     def write_range(self, start: int, values: Sequence) -> Generator[Op, None, None]:
@@ -163,9 +205,14 @@ class SharedArray:
             raise IndexError(
                 f"range {start}:{start + len(values)} out of bounds for size {self.n}"
             )
-        for k, v in enumerate(values):
-            yield Write(self.base + (start + k) * self._word)
-            self._data[start + k] = v
+        data = self._data
+        word = self._word
+        base = self.base
+        op = self._wr_op
+        for k, v in enumerate(values, start):
+            op.addr = base + k * word
+            yield op
+            data[k] = v
 
     # -- unsimulated accesses (setup / verification only) ---------------
     def peek(self, i: int):

@@ -101,6 +101,9 @@ class TaskPool:
         # nonzero just means one more poll round), hence relaxed reads.
         self.outstanding = shm.scalar(name=f"{name}.outstanding", fill=0, relaxed="read")
         self.counter_lock = Lock(sync, name=f"{name}.count_lock")
+        # Reusable poll op: the engine consumes .cycles before the
+        # generator resumes and never mutates the op.
+        self._poll_op = Compute(self.POLL_BACKOFF)
 
     def seed(self, tasks: list[int]) -> None:
         """Pre-load tasks before the simulation starts (setup time)."""
@@ -133,4 +136,4 @@ class TaskPool:
             remaining = yield from self.outstanding.get()
             if remaining <= 0:
                 return None
-            yield Compute(self.POLL_BACKOFF)
+            yield self._poll_op

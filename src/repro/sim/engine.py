@@ -11,12 +11,35 @@ with the smallest local clock, so operations are *issued* in global
 simulated-time order.  For data-race-free applications (the paper's
 assumption) this guarantees that the values observed by the Python-level
 execution are the values the simulated machine would observe.
+
+Hot-path structure (see docs/architecture.md for the full design):
+
+* The ready queue is an :class:`repro.sim.wheel.EventWheel` — a calendar
+  queue with per-epoch heaps that preserves the exact ``(time, seq,
+  tid)`` lexicographic order of the original global ``heapq`` while
+  keeping each heap operation at its constant-time floor as machines and
+  event populations grow.  Stale entries (a thread re-pushed or woken)
+  are lazily discarded on pop, exactly as before.
+
+* Run-ahead fast path: once a thread is resumed, the fused scheduler
+  loop in :meth:`Engine.run` executes its consecutive ops *without
+  re-entering the scheduler* for as long as the thread's clock does not
+  pass the cached horizon (the earliest pending queue entry).  The
+  horizon is maintained incrementally — set on every pop, min-updated
+  on every push — so the common op costs one float compare instead of a
+  heap peek.  Run-ahead
+  deliberately never *pre-executes* ops past the horizon: pulling the
+  next op out of a generator runs real application code (e.g. the store
+  that follows a ``yield Write``), so peeking early would publish
+  Python-level values at the wrong simulated time.  Within-horizon
+  batching is the maximal safe run-ahead for execution-driven threads.
 """
 
 from __future__ import annotations
 
-import heapq
+import gc
 from collections.abc import Generator, Iterable
+from heapq import heappush, heappushpop
 from typing import Protocol
 
 from ..config import MachineConfig
@@ -37,6 +60,9 @@ from .events import (
     Write,
 )
 from .stats import AccessResult, ProcStats, SimResult, SyncPoint
+from .wheel import EventWheel
+
+_INF = float("inf")
 
 
 class MemorySystemProtocol(Protocol):
@@ -86,9 +112,11 @@ class _Thread:
         self.blocked = False
         self.block_time = 0.0
         self.done = False
-        #: (time, AccessResult | None) fed into the generator at the next
-        #: resume; None primes a fresh generator.
-        self.feedback: tuple[float, object] | None = None
+        #: Fed into the generator at the next resume: the thread's clock
+        #: as a bare float (common case — no tuple allocation per op),
+        #: ``(time, AccessResult)`` after a ``ReadNB``, or None to prime
+        #: a fresh generator / resume after a blocking sync op.
+        self.feedback: float | tuple[float, object] | None = None
 
 
 class Engine:
@@ -117,9 +145,13 @@ class Engine:
         #: reproduce :class:`SimResult` totals to the last cycle.
         self.observer = None
         self._threads: dict[int, _Thread] = {}
-        self._heap: list[tuple[float, int, int]] = []
-        self._seq = 0
+        self._queue = EventWheel()
         self._ops_executed = 0
+        #: Earliest pending queue entry time — the run-ahead horizon.
+        #: Maintained incrementally: run() refreshes it after each pop,
+        #: _push() min-updates it, so _run_thread's inner loop never
+        #: touches the queue to decide whether it may keep running.
+        self._horizon = _INF
         # Episode accessors are optional on the sync manager (test fakes
         # may not provide them); without them sync events are tagged with
         # episode 0, which only degrades trace attribution.
@@ -151,8 +183,10 @@ class Engine:
     # scheduling primitives
     # ------------------------------------------------------------------
     def _push(self, thread: _Thread) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (thread.time, self._seq, thread.tid))
+        time = thread.time
+        self._queue.push(time, thread.tid)
+        if time < self._horizon:
+            self._horizon = time
 
     def wake(self, tid: int, grant_time: float) -> None:
         """Unblock thread ``tid``; it resumes at ``grant_time``.
@@ -176,197 +210,383 @@ class Engine:
     # main loop
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
-        """Run all threads to completion and return the statistics."""
-        while self._heap:
-            time, seq, tid = heapq.heappop(self._heap)
-            thread = self._threads[tid]
+        """Run all threads to completion and return the statistics.
+
+        The scheduler loop and the per-thread op loop are fused into one
+        frame: engine-wide constants (memory system entry points, sync
+        manager, op budget) become locals once per *run*, per-segment
+        state (generator send, stats, clock, feedback) once per
+        scheduling segment.  At small P a segment is only one or two ops
+        long, so a per-segment function call plus prologue was as hot as
+        the per-op work itself.  The stall-decomposition arithmetic of
+        the old ``_charge`` helper is inlined with the *identical* float
+        operation order, so results are bit-for-bit those of the
+        original heap-based loop (pinned by tests/test_engine_equivalence.py).
+
+        The run-ahead horizon lives in the local ``hz``: only sync
+        operations can wake another thread (the only way the earliest
+        pending time can move down mid-segment), so ``hz`` is refreshed
+        from ``self._horizon`` after those and nowhere else.
+        """
+        threads = self._threads
+        # Hot-loop thread lookup is a list index (tids are dense 0..P-1).
+        tlist: list[_Thread | None] = [None] * self.config.nprocs
+        for th in threads.values():
+            tlist[th.tid] = th
+        queue = self._queue
+        pop_and_peek = queue.pop_and_peek
+        memsys = self.memsys
+        mem_read = memsys.read
+        mem_write = memsys.write
+        syncmgr = self.syncmgr
+        max_ops = self.max_ops
+        ops_limit = max_ops if max_ops is not None else _INF
+        ops = self._ops_executed
+        obs = self.observer
+        # Flyweight identity of the memory system's stall-free hit
+        # result (None when the system is wrapped by a tracer/checker,
+        # which disables the shortcut but changes nothing else): a result
+        # that *is* this object carries zero stalls by construction, so
+        # the stall decomposition below collapses to a busy charge.
+        hit_res = getattr(memsys, "_hit_result", None)
+        lock_episode = self._lock_episode
+        barrier_episode = self._barrier_episode
+        flag_epoch = self._flag_epoch
+        # The hot loop allocates heavily (feedback tuples, results,
+        # queue entries) but creates no reference cycles that must be
+        # reclaimed mid-run; generation-0 collections were a measurable
+        # fraction of wall time, so cycle detection pauses until the run
+        # completes.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+          # Every segment-exit site below assigns the next (entry,
+          # horizon) itself — the push-exit via the fused
+          # push_pop_peek(), the no-push exits (block, finish) via a
+          # plain pop_and_peek() — so the loop never pops twice.
+          entry, horizon = pop_and_peek()
+          while True:
+            if entry is None:
+                break
+            time, _seq, tid = entry
+            thread = tlist[tid]
             if thread.done or thread.blocked or thread.time != time:
-                # stale heap entry (thread was re-pushed or woken)
+                # stale queue entry (thread was re-pushed or woken)
+                entry, horizon = pop_and_peek()
                 continue
-            self._run_thread(thread)
-        blocked = [t.tid for t in self._threads.values() if t.blocked]
-        unfinished = [t.tid for t in self._threads.values() if not t.done]
+            self._horizon = hz = horizon
+            send = thread.gen.send
+            stats = thread.stats
+            t = thread.time
+            fb = thread.feedback
+            while True:
+                try:
+                    op = send(fb)
+                except StopIteration:
+                    thread.done = True
+                    thread.time = t
+                    stats.finish_time = t
+                    entry, horizon = pop_and_peek()
+                    break
+                ops += 1
+                if ops > ops_limit:
+                    raise RuntimeError(
+                        f"operation budget exceeded ({self.max_ops}); "
+                        "likely runaway application loop"
+                    )
+                cls = op.__class__
+                now = t
+                fb = None
+                if cls is Read:
+                    res = mem_read(tid, op.addr, now)
+                    stats.reads += 1
+                    if res is hit_res:
+                        # Stall-free hit: the flyweight carries zero in
+                        # every stall category, so the decomposition
+                        # below reduces to charging the elapsed cycles
+                        # as busy (bit-identical: x + 0.0 == x for the
+                        # non-negative accumulators involved).
+                        stats.read_hits += 1
+                        rt = res.time
+                        busy = rt - now
+                        if busy <= 0.0:
+                            busy = 0.0
+                        stats.busy += busy
+                        t = rt
+                        if obs is not None and busy > 0.0:
+                            obs.on_access(tid, now, rt, 0.0, 0.0, 0.0, busy)
+                    else:
+                        if res.hit:
+                            stats.read_hits += 1
+                        else:
+                            stats.read_misses += 1
+                        rt = res.time
+                        elapsed = rt - now
+                        if elapsed < -1e-9:
+                            raise RuntimeError(
+                                f"memory system returned completion {rt} before issue {now}"
+                            )
+                        rs = res.read_stall
+                        ws = res.write_stall
+                        bf = res.buffer_flush
+                        stalls = rs + ws + bf
+                        stats.read_stall += rs
+                        stats.write_stall += ws
+                        stats.buffer_flush += bf
+                        busy = elapsed - stalls
+                        if busy <= 0.0:
+                            busy = 0.0
+                        stats.busy += busy
+                        t = rt
+                        if obs is not None and elapsed > 0.0:
+                            obs.on_access(tid, now, rt, rs, ws, bf, busy)
+                elif cls is Compute:
+                    cycles = op.cycles
+                    stats.busy += cycles
+                    t = now + cycles
+                    if obs is not None and cycles > 0.0:
+                        obs.on_busy(tid, now, cycles)
+                elif cls is Write:
+                    res = mem_write(tid, op.addr, now)
+                    stats.writes += 1
+                    if res is hit_res:
+                        rt = res.time
+                        busy = rt - now
+                        if busy <= 0.0:
+                            busy = 0.0
+                        stats.busy += busy
+                        t = rt
+                        if obs is not None and busy > 0.0:
+                            obs.on_access(tid, now, rt, 0.0, 0.0, 0.0, busy)
+                    else:
+                        rt = res.time
+                        elapsed = rt - now
+                        if elapsed < -1e-9:
+                            raise RuntimeError(
+                                f"memory system returned completion {rt} before issue {now}"
+                            )
+                        rs = res.read_stall
+                        ws = res.write_stall
+                        bf = res.buffer_flush
+                        stalls = rs + ws + bf
+                        stats.read_stall += rs
+                        stats.write_stall += ws
+                        stats.buffer_flush += bf
+                        busy = elapsed - stalls
+                        if busy <= 0.0:
+                            busy = 0.0
+                        stats.busy += busy
+                        t = rt
+                        if obs is not None and elapsed > 0.0:
+                            obs.on_access(tid, now, rt, rs, ws, bf, busy)
+                elif cls is Acquire:
+                    sync = SyncPoint("lock", op.lock_id, lock_episode(op.lock_id))
+                    res = memsys.acquire(tid, now, sync)
+                    t = self._charge(stats, tid, now, res)
+                    stats.acquires += 1
+                    grant = syncmgr.acquire(tid, op.lock_id, t)
+                    if grant is None:
+                        thread.blocked = True
+                        thread.block_time = t
+                        thread.time = t
+                        thread.feedback = None
+                        entry, horizon = pop_and_peek()
+                        break
+                    # max()-free wait accounting: += 0.0 is an identity
+                    # on the non-negative sync_wait accumulator, so the
+                    # no-wait case can skip the arithmetic entirely.
+                    wait = grant - t
+                    if wait > 0.0:
+                        stats.sync_wait += wait
+                        if obs is not None:
+                            obs.on_sync_wait(tid, t, wait)
+                        t = grant
+                    hz = self._horizon
+                elif cls is Release:
+                    sync = SyncPoint("lock", op.lock_id, lock_episode(op.lock_id))
+                    res = memsys.release(tid, now, sync)
+                    t = self._charge(stats, tid, now, res)
+                    stats.releases += 1
+                    done = syncmgr.release(tid, op.lock_id, t)
+                    wait = done - t
+                    if wait > 0.0:
+                        stats.sync_wait += wait
+                        if obs is not None:
+                            obs.on_sync_wait(tid, t, wait)
+                        t = done
+                    hz = self._horizon
+                elif cls is BarrierWait:
+                    sync = SyncPoint(
+                        "barrier", op.barrier_id, barrier_episode(op.barrier_id)
+                    )
+                    res = memsys.release(tid, now, sync)
+                    t = self._charge(stats, tid, now, res)
+                    stats.barriers += 1
+                    depart = syncmgr.barrier_wait(tid, op.barrier_id, t)
+                    if depart is None:
+                        thread.blocked = True
+                        thread.block_time = t
+                        thread.time = t
+                        thread.feedback = None
+                        entry, horizon = pop_and_peek()
+                        break
+                    wait = depart - t
+                    if wait > 0.0:
+                        stats.sync_wait += wait
+                        if obs is not None:
+                            obs.on_sync_wait(tid, t, wait)
+                        t = depart
+                    hz = self._horizon
+                elif cls is Fence:
+                    res = memsys.release(tid, now, SyncPoint("fence", -1))
+                    t = self._charge(stats, tid, now, res)
+                    stats.fences += 1
+                elif cls is ReadNB:
+                    res = mem_read(tid, op.addr, now)
+                    stats.reads += 1
+                    if res.hit:
+                        stats.read_hits += 1
+                    else:
+                        stats.read_misses += 1
+                    # Non-blocking: the processor only pays the issue cost;
+                    # the caller sees the full AccessResult and manages the
+                    # remaining latency itself.  Copy the result: memory
+                    # systems may reuse a flyweight for stall-free hits,
+                    # but this one outlives the call (the application
+                    # holds it until the value is consumed).
+                    issue = self.config.cache_hit_cycles
+                    stats.busy += issue
+                    t = now + issue
+                    if obs is not None and issue > 0.0:
+                        obs.on_busy(tid, now, issue)
+                    fb = (
+                        t,
+                        AccessResult(
+                            res.time, res.read_stall, res.write_stall,
+                            res.buffer_flush, res.hit,
+                        ),
+                    )
+                elif cls is FlagSet:
+                    note = getattr(memsys, "sync_note", None)
+                    if note is not None:
+                        # The epoch this set establishes is the current one + 1.
+                        note(
+                            tid,
+                            now,
+                            SyncPoint("flag_set", op.flag_id, flag_epoch(op.flag_id) + 1),
+                        )
+                    proceed, data_ready = memsys.publish(tid, op.blocks, now)
+                    done = syncmgr.flag_set(tid, op.flag_id, proceed, data_ready)
+                    busy = done - now
+                    if busy > 0.0:
+                        stats.busy += busy
+                        if obs is not None:
+                            obs.on_busy(tid, now, busy)
+                        t = done
+                    hz = self._horizon
+                elif cls is FlagWait:
+                    note = getattr(memsys, "sync_note", None)
+                    if note is not None:
+                        note(tid, now, SyncPoint("flag_wait", op.flag_id, op.epoch))
+                    depart = syncmgr.flag_wait(tid, op.flag_id, op.epoch, now)
+                    if depart is None:
+                        thread.blocked = True
+                        thread.block_time = t
+                        thread.time = t
+                        thread.feedback = None
+                        entry, horizon = pop_and_peek()
+                        break
+                    wait = depart - now
+                    if wait > 0.0:
+                        stats.sync_wait += wait
+                        if obs is not None:
+                            obs.on_sync_wait(tid, now, wait)
+                        t = depart
+                    hz = self._horizon
+                elif cls is SelfInvalidate:
+                    memsys.self_invalidate(tid, op.blocks, now)
+                    cost = len(op.blocks) * 1.0
+                    stats.busy += cost
+                    t = now + cost
+                    if obs is not None and cost > 0.0:
+                        obs.on_busy(tid, now, cost)
+                elif cls is Stall:
+                    cycles = op.cycles
+                    category = op.category
+                    if category == "read":
+                        stats.read_stall += cycles
+                    elif category == "write":
+                        stats.write_stall += cycles
+                    elif category == "flush":
+                        stats.buffer_flush += cycles
+                    else:
+                        stats.sync_wait += cycles
+                    t = now + cycles
+                    if obs is not None and cycles > 0.0:
+                        obs.on_stall(tid, now, cycles, category)
+                elif cls is Phase:
+                    # Zero simulated cycles: purely an observability marker.
+                    note = getattr(memsys, "phase_note", None)
+                    if note is not None:
+                        note(tid, now, op.label)
+                    if obs is not None:
+                        obs.on_phase(tid, now, op.label)
+                else:
+                    raise TypeError(f"thread {tid} yielded non-Op {op!r}")
+                if fb is None:
+                    fb = t
+                # Run-ahead check: keep executing while our clock has not
+                # passed the earliest pending entry.  The horizon can only
+                # move *down* during this segment (a sync op above may
+                # have woken a thread at an earlier time — the branches
+                # that can refresh ``hz`` right after), so one float
+                # compare replaces the per-op heap peek.
+                if t > hz:
+                    thread.time = t
+                    thread.feedback = fb
+                    # Fused re-queue + schedule: push this thread's entry
+                    # and pop the next runnable one in a single heap
+                    # operation.  No horizon min-update is needed on the
+                    # push side (t already exceeds the horizon).  This is
+                    # EventWheel.push_pop_peek inlined (keep in lockstep
+                    # with it): the same-epoch no-cancellation case — the
+                    # overwhelmingly common one — costs a C heappushpop;
+                    # epoch transitions fall back to the wheel's methods.
+                    seq = queue._seq + 1
+                    queue._seq = seq
+                    if queue._lo <= t < queue._hi:
+                        bucket = queue._cur_bucket
+                        if bucket and not queue._cancelled:
+                            entry = heappushpop(bucket, (t, seq, tid))
+                            horizon = bucket[0][0]
+                            break
+                        heappush(bucket, (t, seq, tid))
+                    else:
+                        queue._push_slow(t, seq, tid)
+                    queue._pending += 1
+                    entry, horizon = pop_and_peek()
+                    break
+        finally:
+            self._ops_executed = ops
+            if gc_was_enabled:
+                gc.enable()
+        blocked = [th.tid for th in threads.values() if th.blocked]
+        unfinished = [th.tid for th in threads.values() if not th.done]
         if blocked:
             raise DeadlockError(
                 f"simulation deadlocked: threads {blocked} blocked, "
                 f"threads {unfinished} unfinished"
             )
-        total = max((t.stats.finish_time for t in self._threads.values()), default=0.0)
-        procs = [self._threads[tid].stats for tid in sorted(self._threads)]
-        return SimResult(total_time=total, procs=procs, ops=self._ops_executed)
+        total = max((th.stats.finish_time for th in threads.values()), default=0.0)
+        procs = [threads[tid].stats for tid in sorted(threads)]
+        return SimResult(total_time=total, procs=procs, ops=ops)
 
-    def _run_thread(self, thread: _Thread) -> None:
-        """Resume ``thread``, executing ops while it holds the global min clock."""
-        gen = thread.gen
-        stats = thread.stats
-        obs = self.observer
-        while True:
-            try:
-                op = gen.send(thread.feedback)
-            except StopIteration:
-                thread.done = True
-                stats.finish_time = thread.time
-                return
-            self._ops_executed += 1
-            if self.max_ops is not None and self._ops_executed > self.max_ops:
-                raise RuntimeError(
-                    f"operation budget exceeded ({self.max_ops}); "
-                    "likely runaway application loop"
-                )
-            cls = op.__class__
-            now = thread.time
-            thread.feedback = None
-            if cls is Compute:
-                stats.busy += op.cycles
-                thread.time = now + op.cycles
-                if obs is not None and op.cycles > 0.0:
-                    obs.on_busy(thread.tid, now, op.cycles)
-            elif cls is Read:
-                res = self.memsys.read(thread.tid, op.addr, now)
-                stats.reads += 1
-                if res.hit:
-                    stats.read_hits += 1
-                else:
-                    stats.read_misses += 1
-                self._charge(stats, thread, now, res)
-            elif cls is Write:
-                res = self.memsys.write(thread.tid, op.addr, now)
-                stats.writes += 1
-                self._charge(stats, thread, now, res)
-            elif cls is Acquire:
-                sync = SyncPoint("lock", op.lock_id, self._lock_episode(op.lock_id))
-                res = self.memsys.acquire(thread.tid, now, sync)
-                self._charge(stats, thread, now, res)
-                stats.acquires += 1
-                grant = self.syncmgr.acquire(thread.tid, op.lock_id, thread.time)
-                if grant is None:
-                    self._block(thread)
-                    return
-                wait = max(0.0, grant - thread.time)
-                stats.sync_wait += wait
-                if obs is not None and wait > 0.0:
-                    obs.on_sync_wait(thread.tid, thread.time, wait)
-                thread.time = max(thread.time, grant)
-            elif cls is Release:
-                sync = SyncPoint("lock", op.lock_id, self._lock_episode(op.lock_id))
-                res = self.memsys.release(thread.tid, now, sync)
-                self._charge(stats, thread, now, res)
-                stats.releases += 1
-                done = self.syncmgr.release(thread.tid, op.lock_id, thread.time)
-                wait = max(0.0, done - thread.time)
-                stats.sync_wait += wait
-                if obs is not None and wait > 0.0:
-                    obs.on_sync_wait(thread.tid, thread.time, wait)
-                thread.time = max(thread.time, done)
-            elif cls is BarrierWait:
-                sync = SyncPoint(
-                    "barrier", op.barrier_id, self._barrier_episode(op.barrier_id)
-                )
-                res = self.memsys.release(thread.tid, now, sync)
-                self._charge(stats, thread, now, res)
-                stats.barriers += 1
-                depart = self.syncmgr.barrier_wait(thread.tid, op.barrier_id, thread.time)
-                if depart is None:
-                    self._block(thread)
-                    return
-                wait = max(0.0, depart - thread.time)
-                stats.sync_wait += wait
-                if obs is not None and wait > 0.0:
-                    obs.on_sync_wait(thread.tid, thread.time, wait)
-                thread.time = max(thread.time, depart)
-            elif cls is Fence:
-                res = self.memsys.release(thread.tid, now, SyncPoint("fence", -1))
-                self._charge(stats, thread, now, res)
-                stats.fences += 1
-            elif cls is ReadNB:
-                res = self.memsys.read(thread.tid, op.addr, now)
-                stats.reads += 1
-                if res.hit:
-                    stats.read_hits += 1
-                else:
-                    stats.read_misses += 1
-                # Non-blocking: the processor only pays the issue cost;
-                # the caller sees the full AccessResult and manages the
-                # remaining latency itself.
-                issue = self.config.cache_hit_cycles
-                stats.busy += issue
-                thread.time = now + issue
-                if obs is not None and issue > 0.0:
-                    obs.on_busy(thread.tid, now, issue)
-                thread.feedback = (thread.time, res)
-            elif cls is FlagSet:
-                note = getattr(self.memsys, "sync_note", None)
-                if note is not None:
-                    # The epoch this set establishes is the current one + 1.
-                    note(
-                        thread.tid,
-                        now,
-                        SyncPoint("flag_set", op.flag_id, self._flag_epoch(op.flag_id) + 1),
-                    )
-                proceed, data_ready = self.memsys.publish(thread.tid, op.blocks, now)
-                done = self.syncmgr.flag_set(thread.tid, op.flag_id, proceed, data_ready)
-                busy = max(0.0, done - now)
-                stats.busy += busy
-                if obs is not None and busy > 0.0:
-                    obs.on_busy(thread.tid, now, busy)
-                thread.time = max(now, done)
-            elif cls is FlagWait:
-                note = getattr(self.memsys, "sync_note", None)
-                if note is not None:
-                    note(thread.tid, now, SyncPoint("flag_wait", op.flag_id, op.epoch))
-                depart = self.syncmgr.flag_wait(thread.tid, op.flag_id, op.epoch, now)
-                if depart is None:
-                    self._block(thread)
-                    return
-                wait = max(0.0, depart - now)
-                stats.sync_wait += wait
-                if obs is not None and wait > 0.0:
-                    obs.on_sync_wait(thread.tid, now, wait)
-                thread.time = max(now, depart)
-            elif cls is SelfInvalidate:
-                self.memsys.self_invalidate(thread.tid, op.blocks, now)
-                cost = len(op.blocks) * 1.0
-                stats.busy += cost
-                thread.time = now + cost
-                if obs is not None and cost > 0.0:
-                    obs.on_busy(thread.tid, now, cost)
-            elif cls is Stall:
-                if op.category == "read":
-                    stats.read_stall += op.cycles
-                elif op.category == "write":
-                    stats.write_stall += op.cycles
-                elif op.category == "flush":
-                    stats.buffer_flush += op.cycles
-                else:
-                    stats.sync_wait += op.cycles
-                thread.time = now + op.cycles
-                if obs is not None and op.cycles > 0.0:
-                    obs.on_stall(thread.tid, now, op.cycles, op.category)
-            elif cls is Phase:
-                # Zero simulated cycles: purely an observability marker.
-                note = getattr(self.memsys, "phase_note", None)
-                if note is not None:
-                    note(thread.tid, now, op.label)
-                if obs is not None:
-                    obs.on_phase(thread.tid, now, op.label)
-            else:
-                raise TypeError(f"thread {thread.tid} yielded non-Op {op!r}")
-            if thread.feedback is None:
-                thread.feedback = (thread.time, None)
-            # Horizon must be re-read every iteration: a release/barrier
-            # above may have woken a thread at an *earlier* time than our
-            # clock, and running past it would issue operations out of
-            # global time order.
-            if self._heap and thread.time > self._heap[0][0]:
-                self._push(thread)
-                return
+    def _charge(self, stats: ProcStats, tid: int, now: float, res: AccessResult) -> float:
+        """Bucket the elapsed cycles of a sync-op access; return its completion time.
 
-    def _block(self, thread: _Thread) -> None:
-        thread.blocked = True
-        thread.block_time = thread.time
-
-    def _charge(self, stats: ProcStats, thread: _Thread, now: float, res: AccessResult) -> None:
-        """Advance the thread clock and bucket the elapsed cycles."""
+        Data reads/writes inline this arithmetic in :meth:`run`'s op
+        loop; keep the two in lockstep (same operations, same order).
+        """
         elapsed = res.time - now
         if elapsed < -1e-9:
             raise RuntimeError(
@@ -380,10 +600,10 @@ class Engine:
         # (e.g. the one-cycle cache-hit cost).
         busy = max(0.0, elapsed - stalls)
         stats.busy += busy
-        thread.time = res.time
         obs = self.observer
         if obs is not None and elapsed > 0.0:
             obs.on_access(
-                thread.tid, now, res.time,
+                tid, now, res.time,
                 res.read_stall, res.write_stall, res.buffer_flush, busy,
             )
+        return res.time

@@ -8,10 +8,10 @@ process-coordination cost, not a memory-system overhead).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcStats:
     """Cycle and event counters for one simulated processor."""
 
@@ -153,18 +153,56 @@ class SyncPoint:
     episode: int = 0
 
 
-@dataclass
 class AccessResult:
     """Outcome of a single memory-system access.
 
     ``time`` is the absolute completion time; the stall fields say how the
     cycles between issue and completion should be categorised (anything
     not claimed by a stall category is busy/latency charged as busy).
+
+    Hand-written slotted class rather than a dataclass: one of these is
+    built for (almost) every shared access, so construction cost is part
+    of the simulator's per-event floor.  ``extra`` defaults to ``None``
+    instead of a fresh dict — no current producer populates it, and the
+    allocation showed up in profiles.  Memory systems may reuse a single
+    instance for stall-free hits (see ``BaseMemorySystem._hit``);
+    consumers must therefore read the fields before the next access on
+    the same system, or copy (the engine copies for ``ReadNB``).
     """
 
-    time: float
-    read_stall: float = 0.0
-    write_stall: float = 0.0
-    buffer_flush: float = 0.0
-    hit: bool = False
-    extra: dict = field(default_factory=dict)
+    __slots__ = ("time", "read_stall", "write_stall", "buffer_flush", "hit", "extra")
+
+    def __init__(
+        self,
+        time: float,
+        read_stall: float = 0.0,
+        write_stall: float = 0.0,
+        buffer_flush: float = 0.0,
+        hit: bool = False,
+        extra: dict | None = None,
+    ):
+        self.time = time
+        self.read_stall = read_stall
+        self.write_stall = write_stall
+        self.buffer_flush = buffer_flush
+        self.hit = hit
+        self.extra = extra
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessResult(time={self.time!r}, read_stall={self.read_stall!r}, "
+            f"write_stall={self.write_stall!r}, buffer_flush={self.buffer_flush!r}, "
+            f"hit={self.hit!r}, extra={self.extra!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not AccessResult:
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.read_stall == other.read_stall
+            and self.write_stall == other.write_stall
+            and self.buffer_flush == other.buffer_flush
+            and self.hit == other.hit
+            and self.extra == other.extra
+        )

@@ -1,0 +1,94 @@
+"""Golden-fixture machinery for engine differential tests.
+
+The fixture ``tests/fixtures/engine_golden.json`` records, for every
+application x memory-system pair at smoke scale, the observable outcome
+of a simulation under the engine that produced it: the final shared
+memory contents, the full per-processor stall decomposition, and the
+traffic counters.  ``tests/test_engine_equivalence.py`` replays the same
+runs on the current engine and requires bit-identical results — the
+safety net for scheduler-core refactors.
+
+Regenerate (only when an *intentional* timing change is made, with a
+commit message explaining why the timing moved)::
+
+    PYTHONPATH=src python -m tests.golden
+
+Floats survive the JSON round-trip exactly (``json`` emits
+``repr``-style shortest representations, which parse back to the same
+IEEE-754 double), so equality below really is bit-level.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.apps.factory import AppFactory
+from repro.apps.presets import smoke_scale
+from repro.config import MachineConfig
+from repro.runtime.context import Machine
+
+FIXTURE = Path(__file__).parent / "fixtures" / "engine_golden.json"
+
+#: Every memory system the repo models.
+ALL_SYSTEMS = ("z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv")
+
+#: Per-proc counters that must match bit-for-bit.
+PROC_FIELDS = (
+    "busy", "read_stall", "write_stall", "buffer_flush", "sync_wait",
+    "reads", "writes", "read_hits", "read_misses",
+    "acquires", "releases", "barriers", "fences", "finish_time",
+)
+
+
+def golden_cases() -> dict[str, tuple[AppFactory, bool]]:
+    """The five apps at smoke scale; the bool is ``verify``."""
+    cases = {name: (factory, True) for name, (factory, _) in smoke_scale().items()}
+    # RacyDemo is intentionally racy: its verify() documents the lost
+    # updates, so the fixture only pins timing + memory image.
+    cases["RacyDemo"] = (AppFactory("RacyDemo"), False)
+    return cases
+
+
+def run_case(factory: AppFactory, system: str, verify: bool, nprocs: int = 16) -> dict:
+    """One simulation -> JSON-able observable outcome."""
+    app = factory()
+    machine = Machine(MachineConfig(nprocs=nprocs), system)
+    app.setup(machine)
+    result = machine.run(app.worker)
+    if verify:
+        app.verify()
+    memory = [
+        {"name": arr.name, "base": arr.base, "data": arr.snapshot()}
+        for arr in machine.shm.arrays
+    ]
+    return {
+        "total_time": result.total_time,
+        "ops": result.ops,
+        "procs": [
+            {field: getattr(p, field) for field in PROC_FIELDS} for p in result.procs
+        ],
+        "network_messages": result.network_messages,
+        "network_bytes": result.network_bytes,
+        "traffic": machine.memsys.traffic_summary(),
+        "memory": memory,
+    }
+
+
+def build_fixture(nprocs: int = 16) -> dict:
+    runs = {}
+    for app_name, (factory, verify) in golden_cases().items():
+        for system in ALL_SYSTEMS:
+            runs[f"{app_name}/{system}"] = run_case(factory, system, verify, nprocs)
+    return {"nprocs": nprocs, "scale": "smoke", "runs": runs}
+
+
+def main() -> None:
+    doc = build_fixture()
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE} ({len(doc['runs'])} runs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -344,6 +344,42 @@ class TestRunner:
         c = CheckSpec(AppFactory("RacyDemo"), "RCinv", self.SMOKE, max_events=7)
         assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
 
+    def test_spec_fingerprint_distinguishes_machine_size(self):
+        """Cache entries at different P must never collide — the config
+        (including nprocs) is part of the spec identity."""
+        fps = {
+            CheckSpec(
+                AppFactory("RacyDemo"), "RCinv", MachineConfig(nprocs=p)
+            ).fingerprint()
+            for p in (4, 5, 16, 64)
+        }
+        assert len(fps) == 4
+
+    def test_check_runs_clean_at_odd_and_paper_scale_p(self):
+        """Nothing in the checker stack assumes P=16 (or a power of two):
+        vector clocks, barrier accumulators and flag epochs size off the
+        config, and thread ids stay dense 0..P-1."""
+        for p in (5, 64):
+            spec = CheckSpec(
+                AppFactory("IS", n_keys=128, nbuckets=16),
+                "RCinv",
+                MachineConfig(nprocs=p),
+            )
+            outcome = execute_check(spec)
+            assert outcome.clean, (p, outcome.describe())
+
+    def test_check_bench_doc_records_nprocs(self, tmp_path):
+        from repro.analysis.checkers import write_check_bench
+
+        spec = CheckSpec(AppFactory("RacyDemo"), "RCinv", MachineConfig(nprocs=5))
+        outcomes = [execute_check(spec)]
+        out = tmp_path / "BENCH_check.json"
+        doc = write_check_bench(outcomes, 0.1, jobs=1, scale="paper", out=out, nprocs=5)
+        assert doc["nprocs"] == 5
+        import json
+
+        assert json.loads(out.read_text())["nprocs"] == 5
+
 
 class TestCheckCLI:
     def test_racy_demo_exits_nonzero(self, capsys):

@@ -122,6 +122,48 @@ class TestOrderings:
         assert upd.total_read_misses < inv.total_read_misses
 
 
+class TestScaleInvariants:
+    """Metamorphic checks at paper-scale P=64: growing the machine must
+    not break the z-machine's role as a per-category lower bound."""
+
+    CATEGORIES = ("read_stall", "write_stall", "buffer_flush", "sync_wait")
+
+    @pytest.fixture(scope="class")
+    def p64_runs(self):
+        return {s: run_workload(s, nprocs=64) for s in ALL_SYSTEMS}
+
+    def test_same_result_at_p64(self, p64_runs):
+        expected = sum(sum(p * 10 + i for i in range(8)) for p in range(64))
+        for s, (_, _, v) in p64_runs.items():
+            assert v == expected, s
+
+    def test_zmachine_stall_lower_bounds_every_category(self, p64_runs):
+        z = p64_runs["z-mc"][1]
+        z_cat = {
+            c: sum(getattr(p, c) for p in z.procs) for c in self.CATEGORIES
+        }
+        for s, (_, r, _) in p64_runs.items():
+            if s == "z-mc":
+                continue
+            for c in self.CATEGORIES:
+                rc = sum(getattr(p, c) for p in r.procs)
+                assert z_cat[c] <= rc + 1e-9, (s, c, z_cat[c], rc)
+
+    def test_zmachine_total_time_lower_bound_at_p64(self, p64_runs):
+        z = p64_runs["z-mc"][1].total_time
+        for s, (_, r, _) in p64_runs.items():
+            assert r.total_time >= z - 1e-9, s
+
+    def test_accounting_identities_survive_p64(self, p64_runs):
+        for s, (_, r, _) in p64_runs.items():
+            assert len(r.procs) == 64, s
+            for p in r.procs:
+                assert p.accounted <= p.finish_time + 1e-6, (s, p)
+                assert p.busy >= 0 and p.read_stall >= 0
+                assert p.write_stall >= 0 and p.buffer_flush >= 0
+                assert p.sync_wait >= 0
+
+
 class TestTrafficConsistency:
     def test_network_bytes_positive_on_real_systems(self, all_runs):
         for s, (_, r, _) in all_runs.items():

@@ -1,0 +1,61 @@
+"""Differential conformance tests for the scheduler core.
+
+``tests/fixtures/engine_golden.json`` was recorded with the seed engine
+(global ``heapq`` loop, pre event-wheel) for every application x memory
+system at smoke scale.  These tests replay the identical runs on the
+current engine and require the outcome to be **bit-identical**: final
+shared-memory contents, per-processor stall decomposition, op counts,
+and network traffic.  JSON round-trips floats exactly, so ``==`` on the
+loaded values is bit-level equality.
+
+If one of these fails you changed simulation *semantics*, not just
+speed.  Only regenerate the fixture (``PYTHONPATH=src python -m
+tests.golden``) for an intentional timing change, with the justification in
+the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.golden import FIXTURE, PROC_FIELDS, golden_cases, run_case
+
+GOLDEN = json.loads(FIXTURE.read_text())
+
+CASE_IDS = sorted(GOLDEN["runs"])
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return golden_cases()
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+def test_bit_identical_to_seed_engine(case_id, cases):
+    app_name, system = case_id.split("/")
+    factory, verify = cases[app_name]
+    expected = GOLDEN["runs"][case_id]
+    actual = run_case(factory, system, verify, nprocs=GOLDEN["nprocs"])
+
+    assert actual["total_time"] == expected["total_time"], "total_time diverged"
+    assert actual["ops"] == expected["ops"], "op count diverged"
+    for proc, (got, want) in enumerate(zip(actual["procs"], expected["procs"])):
+        for field in PROC_FIELDS:
+            assert got[field] == want[field], (
+                f"proc {proc} field {field}: {got[field]!r} != {want[field]!r}"
+            )
+    assert actual["network_messages"] == expected["network_messages"]
+    assert actual["network_bytes"] == expected["network_bytes"]
+    assert actual["traffic"] == expected["traffic"]
+    assert actual["memory"] == expected["memory"], "shared-memory image diverged"
+
+
+def test_fixture_covers_every_app_and_system(cases):
+    apps = {cid.split("/")[0] for cid in CASE_IDS}
+    systems = {cid.split("/")[1] for cid in CASE_IDS}
+    assert apps == set(cases), "fixture missing an app"
+    from tests.golden import ALL_SYSTEMS
+
+    assert systems == set(ALL_SYSTEMS), "fixture missing a memory system"

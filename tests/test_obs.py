@@ -128,6 +128,24 @@ def test_metrics_per_proc_totals_match_procstats():
         assert abs(per["sync_wait"][p] - stats.sync_wait) < 1e-6
 
 
+def test_metrics_per_proc_totals_match_at_p64():
+    """Paper-scale machine: every one of the 64 per-processor bucket
+    sums must reproduce the SimResult decomposition to 1e-6."""
+    factory = AppFactory("IS", n_keys=512, nbuckets=64)
+    _, result, _, collector = run_observed(
+        factory, "RCupd", cfg=MachineConfig(nprocs=64), trace=False
+    )
+    assert len(result.procs) == 64
+    per = collector.per_proc_totals()
+    for p, stats in enumerate(result.procs):
+        for cat in CATEGORIES:
+            assert abs(per[cat][p] - getattr(stats, cat)) < 1e-6, (cat, p)
+    totals = collector.totals()
+    for cat in CATEGORIES:
+        want = sum(getattr(p, cat) for p in result.procs)
+        assert abs(totals[cat] - want) < 1e-6, cat
+
+
 def test_metrics_observability_is_timing_transparent():
     plain = run_machine(IS_FACTORY(), "RCinv", CFG)[1]
     _, observed, _, _ = run_observed(IS_FACTORY, "RCinv")

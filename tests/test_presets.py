@@ -2,13 +2,15 @@
 
 import pytest
 
-from repro.apps import default_scale, paper_scale, smoke_scale
+from repro.apps import SCALES, default_scale, large_scale, paper_scale, preset, smoke_scale
 from repro.apps.base import run_on
 from repro.config import MachineConfig
 
 
 class TestPresetStructure:
-    @pytest.mark.parametrize("preset", [paper_scale, default_scale, smoke_scale])
+    @pytest.mark.parametrize(
+        "preset", [paper_scale, default_scale, large_scale, smoke_scale]
+    )
     def test_all_four_apps(self, preset):
         p = preset()
         assert set(p) == {"Cholesky", "IS", "Maxflow", "Nbody"}
@@ -45,6 +47,34 @@ class TestPaperSizes:
         assert app.n == 128
         assert app.steps == 50
         assert app.boost_interval == 10
+
+
+class TestLargeScale:
+    def test_large_in_scales_and_lookup(self):
+        assert "large" in SCALES
+        assert set(preset("large")) == {"Cholesky", "IS", "Maxflow", "Nbody"}
+
+    def test_large_grows_default_by_an_order_of_magnitude(self):
+        """'large' must carry roughly 10x the default problem sizes so
+        P=64/256 machines have enough parallel slack per processor."""
+        large, small = large_scale(), default_scale()
+        l_is, s_is = large["IS"][0](), small["IS"][0]()
+        assert l_is.n == 10 * s_is.n
+        l_ch, s_ch = large["Cholesky"][0](), small["Cholesky"][0]()
+        assert l_ch.n == 4 * s_ch.n  # factor work grows superlinearly
+        l_mf, s_mf = large["Maxflow"][0](), small["Maxflow"][0]()
+        assert l_mf.net.n > 3 * s_mf.net.n
+        l_nb, s_nb = large["Nbody"][0](), small["Nbody"][0]()
+        assert l_nb.n == 4 * s_nb.n  # force phase is O(n log n) per step
+
+    def test_large_workloads_feed_64_processors(self):
+        """Every large workload decomposes into at least P=64 units of
+        parallel work (keys, columns, vertices, bodies)."""
+        large = large_scale()
+        assert large["IS"][0]().n >= 64 * 8
+        assert large["Cholesky"][0]().n >= 64
+        assert large["Maxflow"][0]().net.n >= 64
+        assert large["Nbody"][0]().n >= 64 * 4
 
 
 class TestSmokeRuns:
