@@ -18,7 +18,7 @@ per-study diagnostics.  A run manifest describing every study (config,
 host, code fingerprint, events/sec, cache hits) is written next to the
 output as a sidecar (default ``full_paper_run_manifest.json``,
 ``--manifest PATH`` to move it) — this is the provenance record for
-committed artifacts such as ``paper_scale_output.txt``.
+committed artifacts such as ``benchmarks/paper_scale_output.txt``.
 
 Usage:  python examples/full_paper_run.py [--paper] [--jobs N]
         [--no-cache] [--json] [--quiet] [--manifest PATH]

@@ -15,6 +15,9 @@ bench    time serial vs parallel vs cached execution of the full study
 check    run the correctness analyses (happens-before race detection +
          protocol invariant checking) over an apps × systems matrix;
          exits nonzero on any finding
+scenario named degradation scenarios (limping nodes, slow links, bursty
+         load, ...): list / describe them, or run the scenario matrix
+         and emit the overhead-degradation report (BENCH_scenarios.json)
 systems  list available memory systems and applications
 cache    show or clear the on-disk result cache
 
@@ -65,6 +68,15 @@ from .mem.systems import PAPER_SYSTEMS, SYSTEM_REGISTRY
 from .obs import MetricsCollector, configure, get_logger, to_perfetto, write_trace
 from .obs.manifest import build_manifest, write_manifest
 from .runtime.context import Machine
+from .scenarios import (
+    SCENARIO_BENCH_FILE,
+    SCENARIO_NAMES,
+    format_report,
+    get_scenario,
+    parse_overrides,
+    run_scenario_matrix,
+    write_report,
+)
 from .sim.trace import TracingMemory
 
 #: factory + reuse expectation per application, at moderate default scale.
@@ -334,6 +346,78 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario_list(args: argparse.Namespace) -> int:
+    log = get_logger()
+    width = max(len(n) for n in SCENARIO_NAMES)
+    for name in SCENARIO_NAMES:
+        log.out(f"{name:<{width}}  {get_scenario(name).summary}")
+    return 0
+
+
+def cmd_scenario_describe(args: argparse.Namespace) -> int:
+    log = get_logger()
+    try:
+        scenario = get_scenario(args.name)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    log.out(f"{scenario.name}: {scenario.summary}")
+    log.out("")
+    log.out(scenario.description)
+    if scenario.knobs:
+        log.out("")
+        log.out("knobs:")
+        for knob in scenario.knobs:
+            log.out(f"  {knob.name} = {knob.default}  ({knob.help})")
+    cfg = _config(args)
+    deg = scenario.degradation(cfg)
+    log.out("")
+    log.out(f"realised for P={cfg.nprocs}: {deg!r}")
+    return 0
+
+
+def cmd_scenario_run(args: argparse.Namespace) -> int:
+    log = get_logger()
+    cfg = _config(args)
+    systems = tuple(args.systems) if args.systems else PAPER_SYSTEMS
+    for s in systems:
+        if s not in SYSTEM_REGISTRY:
+            raise SystemExit(f"unknown memory system {s!r}")
+    scenarios = list(args.scenario) if args.scenario else list(SCENARIO_NAMES)
+    for name in scenarios:
+        if name not in SCENARIO_NAMES:
+            raise SystemExit(
+                f"unknown scenario {name!r}; choose from {', '.join(SCENARIO_NAMES)}"
+            )
+    scale = "smoke" if args.smoke else args.scale
+    try:
+        overrides = parse_overrides(args.set or [])
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    apps = None if args.app == "all" else [args.app]
+    try:
+        report = run_scenario_matrix(
+            scenarios,
+            config=cfg,
+            scale=scale,
+            apps=apps,
+            systems=systems,
+            overrides=overrides,
+            jobs=args.jobs,
+            cache=_cache(args),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.format == "json":
+        log.out(json.dumps(report, indent=2))
+    else:
+        log.out(format_report(report))
+    if args.out:
+        path = write_report(report, args.out)
+        log.out(f"degradation report written to {path}")
+    _emit_manifest(args.manifest, [report["manifest"]], "scenario-matrix")
+    return 0
+
+
 def cmd_systems(args: argparse.Namespace) -> int:
     log = get_logger()
     log.out(f"memory systems: {', '.join(sorted(SYSTEM_REGISTRY))}")
@@ -514,6 +598,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_flags(p_check)
     p_check.set_defaults(func=cmd_check)
+
+    p_scn = sub.add_parser(
+        "scenario",
+        help="named degradation scenarios: fault injection over apps x systems",
+    )
+    scn_sub = p_scn.add_subparsers(dest="scenario_command", required=True)
+
+    p_scn_list = scn_sub.add_parser("list", help="list the registered scenarios")
+    p_scn_list.set_defaults(func=cmd_scenario_list)
+
+    p_scn_desc = scn_sub.add_parser(
+        "describe", help="show one scenario's model, knobs and realised injection"
+    )
+    p_scn_desc.add_argument("name", help="scenario name (see 'scenario list')")
+    p_scn_desc.set_defaults(func=cmd_scenario_describe)
+
+    p_scn_run = scn_sub.add_parser(
+        "run", help="run the scenario matrix and print the degradation report"
+    )
+    group = p_scn_run.add_mutually_exclusive_group()
+    group.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="scenario to run (repeatable; baseline is always included)",
+    )
+    group.add_argument(
+        "--all",
+        action="store_true",
+        help="run every registered scenario (the default when --scenario is absent)",
+    )
+    p_scn_run.add_argument("--app", default="all", help="application name or 'all'")
+    p_scn_run.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="small",
+        help="workload preset (default small: the committed baseline's scale)",
+    )
+    p_scn_run.add_argument(
+        "--systems", nargs="*", help="memory systems (default: paper's five)"
+    )
+    p_scn_run.add_argument(
+        "--set",
+        action="append",
+        metavar="KNOB=VALUE",
+        help="override a scenario knob (repeatable; see 'scenario describe')",
+    )
+    p_scn_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="force the smoke workload preset (the CI matrix mode)",
+    )
+    p_scn_run.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help=f"also write the report as JSON (e.g. {SCENARIO_BENCH_FILE})",
+    )
+    p_scn_run.add_argument("--format", choices=("text", "json"), default="text")
+    _add_parallel_flags(p_scn_run)
+    _add_manifest_flag(p_scn_run)
+    p_scn_run.set_defaults(func=cmd_scenario_run)
 
     p_sys = sub.add_parser("systems", help="list systems and applications")
     p_sys.set_defaults(func=cmd_systems)

@@ -29,7 +29,7 @@ from .factory import AppFactory
 Preset = dict[str, tuple[Callable[[], Application], bool]]
 
 #: Named preset scales, for CLI/bench selection.
-SCALES = ("smoke", "default", "large", "paper")
+SCALES = ("smoke", "small", "default", "large", "paper")
 
 
 def paper_scale() -> Preset:
@@ -68,6 +68,21 @@ def large_scale() -> Preset:
     }
 
 
+def small_scale() -> Preset:
+    """Between smoke and default: the scenario matrix's scale.
+
+    Large enough that degradation visibly moves the stall decomposition
+    (the smoke inputs barely touch the network), small enough that the
+    full scenario x app x system matrix finishes in seconds.
+    """
+    return {
+        "Cholesky": (AppFactory("Cholesky", grid=(6, 6)), False),
+        "IS": (AppFactory("IS", n_keys=512, nbuckets=64), False),
+        "Maxflow": (AppFactory("Maxflow", n=24, extra_edges=48, seed=0), True),
+        "Nbody": (AppFactory("Nbody", n_bodies=32, steps=3, boost_interval=1), True),
+    }
+
+
 def smoke_scale() -> Preset:
     """Tiny inputs for fast tests."""
     return {
@@ -83,6 +98,7 @@ def preset(scale: str) -> Preset:
     try:
         return {
             "smoke": smoke_scale,
+            "small": small_scale,
             "default": default_scale,
             "large": large_scale,
             "paper": paper_scale,

@@ -12,6 +12,10 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .scenarios.inject import Degradation
 
 
 def _mesh_dims(nprocs: int) -> tuple[int, int]:
@@ -68,6 +72,10 @@ class MachineConfig:
     #: Interconnect topology: "mesh" (paper default), "torus", "ring" or
     #: "hypercube" (the SPASM kernel offered a choice of topologies).
     topology: str = "mesh"
+    #: Fault/degradation injection spec (``None`` = the homogeneous
+    #: ideal machine).  See :mod:`repro.scenarios.inject`; factors of
+    #: exactly 1.0 reproduce the undegraded machine bit-identically.
+    degradation: Degradation | None = None
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -99,6 +107,8 @@ class MachineConfig:
             )
         if self.topology == "hypercube" and self.nprocs & (self.nprocs - 1):
             raise ValueError("hypercube topology needs a power-of-two nprocs")
+        if self.degradation is not None:
+            self.degradation.validate_for(self.nprocs)
 
     @property
     def mesh_dims(self) -> tuple[int, int]:

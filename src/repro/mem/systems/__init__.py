@@ -33,12 +33,16 @@ def default_network(config: MachineConfig) -> RoutedNetwork:
     """The configured interconnect (paper default: 2-D mesh, 1.6 cyc/B)."""
     dims = config.mesh_dims if config.topology in ("mesh", "torus") else None
     topology = make_topology(config.topology, config.nprocs, dims)
-    return RoutedNetwork(
+    net = RoutedNetwork(
         topology,
         cycles_per_byte=config.cycles_per_byte,
         header_bytes=config.header_bytes,
         router_delay=config.router_delay,
     )
+    if config.degradation is not None:
+        for u, v, lat_f, bw_f in config.degradation.links:
+            net.degrade_link(u, v, lat_f, bw_f)
+    return net
 
 
 def make_system(name: str, config: MachineConfig, network: Network | None = None):

@@ -34,6 +34,17 @@ class BaseMemorySystem:
         #: copied onto the system once at construction.
         self._hit_cycles = config.cache_hit_cycles
         self._mem_access_cycles = config.mem_access_cycles
+        #: Directory/memory access cost per *home node*.  Homogeneous by
+        #: default; a :class:`repro.scenarios.inject.Degradation` with
+        #: ``node_mem`` factors models limping/contended memory modules.
+        #: A factor of exactly 1.0 leaves every cost bit-identical.
+        deg = config.degradation
+        if deg is not None and deg.node_mem:
+            self._mem_cycles_at = [
+                config.mem_access_cycles * f for f in deg.mem_factors(config.nprocs)
+            ]
+        else:
+            self._mem_cycles_at = [config.mem_access_cycles] * config.nprocs
         #: Flyweight result reused for every stall-free hit — a hit is by
         #: far the most common outcome, and allocating a fresh
         #: AccessResult per hit dominated the access-path profile.
@@ -142,7 +153,7 @@ class BaseMemorySystem:
         home = self.home_of(block)
         entry = self.directory.entry(block)
         t = net.transfer(proc, home, 0, now)
-        t += self._mem_access_cycles
+        t += self._mem_cycles_at[home]
         owner = entry.owner
         if owner is not None and owner != proc:
             t = net.transfer(home, owner, 0, t)
@@ -206,7 +217,7 @@ class BaseMemorySystem:
         home = self.home_of(block)
         entry = self.directory.entry(block)
         t = net.transfer(proc, home, 0, start)
-        t += self._mem_access_cycles
+        t += self._mem_cycles_at[home]
         acks_done = self._invalidate_sharers(block, proc, t, home)
         # Grant (with data if the requester lacks the line); the home does
         # not wait for acks before granting in the pipelined mode.
@@ -244,7 +255,7 @@ class BaseMemorySystem:
         entry = self.directory.entry(block)
         payload = nwords * cfg.word_size
         t = net.transfer(proc, home, payload, start)
-        t += self._mem_access_cycles
+        t += self._mem_cycles_at[home]
         if t > entry.avail_time:
             entry.avail_time = t  # data fetchable from home from here on
         retire = net.transfer(home, proc, 0, t)

@@ -68,12 +68,11 @@ class RCAdapt(RCUpd):
 
     def _adaptive_fetch(self, proc: int, block: int, now: float) -> float:
         """Read-miss transaction with phase-change detection at the home."""
-        cfg = self.config
         net = self.network
         home = self.home_of(block)
         entry = self.directory.entry(block)
         t = net.transfer(proc, home, 0, now)
-        t += cfg.mem_access_cycles
+        t += self._mem_cycles_at[home]
         if entry.mode == SPECIAL:
             # Established sharing pattern + a new read => new phase:
             # invalidate the stale active set and re-initialise.

@@ -43,6 +43,16 @@ class RoutedNetwork(Network):
         #: the hop list per message — ~15% of a protocol-bound run's
         #: profile before caching.
         self._routes: dict[int, tuple[int, ...]] = {}
+        #: Link degradation (see :meth:`degrade_link`).  ``_slow_pairs``
+        #: maps a *directed* link to its (latency, bandwidth) factors;
+        #: ``_lat_f`` / ``_bw_f`` are the per-link-id tables the degraded
+        #: transfer path indexes.  ``_degraded`` stays False until
+        #: ``degrade_link`` is called, so the undegraded hot paths cost
+        #: one boolean check and nothing else.
+        self._slow_pairs: dict[tuple[int, int], tuple[float, float]] = {}
+        self._lat_f: list[float] = []
+        self._bw_f: list[float] = []
+        self._degraded = False
 
     def serialisation_time(self, nbytes: int) -> float:
         return (nbytes + self.header_bytes) * self.cycles_per_byte
@@ -56,12 +66,45 @@ class RoutedNetwork(Network):
                 lid = len(self._link_free)
                 link_ids[link] = lid
                 self._link_free.append(0.0)
+                lat_f, bw_f = self._slow_pairs.get(link, (1.0, 1.0))
+                self._lat_f.append(lat_f)
+                self._bw_f.append(bw_f)
             ids.append(lid)
         route = tuple(ids)
         self._routes[src << 20 | dst] = route
         return route
 
+    def degrade_link(
+        self, u: int, v: int, latency_factor: float = 1.0,
+        bandwidth_factor: float = 1.0,
+    ) -> None:
+        """Degrade the *undirected* physical link ``(u, v)``.
+
+        ``latency_factor`` scales the per-hop router delay on the link,
+        ``bandwidth_factor`` scales its serialisation occupancy (a slower
+        wire holds the link longer, so downstream traffic queues more).
+        Both directions are affected.  Factors of exactly 1.0 are
+        bit-identical to the undegraded link (IEEE-754 multiplication by
+        1.0 is an identity), which the neutrality tests rely on.
+        """
+        if not latency_factor > 0.0 or not bandwidth_factor > 0.0:
+            raise ValueError("link degradation factors must be positive")
+        links = self.topology.links()
+        if (u, v) not in links and (v, u) not in links:
+            raise ValueError(
+                f"({u}, {v}) is not a physical link of this topology"
+            )
+        for pair in ((u, v), (v, u)):
+            self._slow_pairs[pair] = (latency_factor, bandwidth_factor)
+            lid = self._link_ids.get(pair)
+            if lid is not None:
+                self._lat_f[lid] = latency_factor
+                self._bw_f[lid] = bandwidth_factor
+        self._degraded = True
+
     def transfer(self, src: int, dst: int, nbytes: int, start: float) -> float:
+        if self._degraded:
+            return self._transfer_degraded(src, dst, nbytes, start)
         stats = self.stats
         if src == dst:
             # Local delivery: no network traversal.
@@ -90,6 +133,44 @@ class RoutedNetwork(Network):
         stats.contention_cycles += queued
         return arrival
 
+    def _transfer_degraded(self, src: int, dst: int, nbytes: int, start: float) -> float:
+        # transfer() with per-link factors applied: each hop's router
+        # delay is scaled by the link's latency factor and its occupancy
+        # (serialisation reservation) by the bandwidth factor; the tail
+        # trails the head by the *last* link's occupancy.  With all
+        # factors 1.0 every multiply is an exact identity, so this path
+        # is bit-identical to the fast one.
+        stats = self.stats
+        if src == dst:
+            stats.messages += 1
+            stats.bytes += nbytes
+            return start
+        ser = (nbytes + self.header_bytes) * self.cycles_per_byte
+        router_delay = self.router_delay
+        head = start
+        queued = 0.0
+        route = self._routes.get(src << 20 | dst)
+        if route is None:
+            route = self._route(src, dst)
+        link_free = self._link_free
+        lat_f = self._lat_f
+        bw_f = self._bw_f
+        occ = ser
+        for lid in route:
+            occ = ser * bw_f[lid]
+            free_at = link_free[lid]
+            depart = free_at if free_at > head else head
+            queued += depart - head
+            link_free[lid] = depart + occ
+            head = depart + router_delay * lat_f[lid]
+        arrival = head + occ
+        stats.messages += 1
+        stats.bytes += nbytes
+        stats.latency_cycles += arrival - start
+        stats.busy_cycles += ser
+        stats.contention_cycles += queued
+        return arrival
+
     def fanout(
         self, src: int, dsts: list[int], nbytes: int, start: float,
         on_arrival=None,
@@ -102,6 +183,11 @@ class RoutedNetwork(Network):
         # float-summed counters are bit-identical.  on_arrival may inject
         # traffic itself; that is safe because the hoisted link/stats
         # containers are the same mutable objects transfer() uses.
+        if self._degraded:
+            # The generic helper routes everything through transfer(),
+            # which applies the per-link factors; it is documented above
+            # to be bit-identical to this fused loop.
+            return Network.fanout(self, src, dsts, nbytes, start, on_arrival)
         stats = self.stats
         routes = self._routes
         link_free = self._link_free

@@ -1,0 +1,53 @@
+"""Named degradation scenarios and fault injection.
+
+The scenario layer asks the question the paper could not: how does each
+memory system's overhead decomposition *degrade* when the machine stops
+being the clean, homogeneous ideal — limping nodes, contended memory
+modules, slow mesh links, bursty phase-shifted load, heterogeneous CPU
+speeds?
+
+* :mod:`repro.scenarios.inject` — the :class:`Degradation` spec that
+  travels inside :class:`~repro.config.MachineConfig`;
+* :mod:`repro.scenarios.registry` — the named scenarios and their
+  knobs;
+* :mod:`repro.scenarios.report` — the matrix runner and the
+  overhead-degradation report (``BENCH_scenarios.json``).
+
+See ``docs/scenarios.md`` for the handbook.
+"""
+
+from .inject import Degradation
+from .registry import (
+    SCENARIO_NAMES,
+    SCENARIO_REGISTRY,
+    Knob,
+    Scenario,
+    apply_scenario,
+    get_scenario,
+    neutral_degradation,
+    parse_overrides,
+)
+from .report import (
+    SCENARIO_BENCH_FILE,
+    build_report,
+    format_report,
+    run_scenario_matrix,
+    write_report,
+)
+
+__all__ = [
+    "Degradation",
+    "Knob",
+    "SCENARIO_BENCH_FILE",
+    "SCENARIO_NAMES",
+    "SCENARIO_REGISTRY",
+    "Scenario",
+    "apply_scenario",
+    "build_report",
+    "format_report",
+    "get_scenario",
+    "neutral_degradation",
+    "parse_overrides",
+    "run_scenario_matrix",
+    "write_report",
+]

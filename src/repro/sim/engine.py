@@ -144,6 +144,13 @@ class Engine:
         #: exact per-category cycle accounting so interval metrics can
         #: reproduce :class:`SimResult` totals to the last cycle.
         self.observer = None
+        #: CPU-side degradation (per-node slowdown factors and the burst
+        #: schedule) from ``config.degradation``.  None — the common case
+        #: — keeps the Compute branch on a single pointer check; the
+        #: memory/network axes are consumed by the memory system and the
+        #: routed network, not here.
+        deg = config.degradation
+        self._degrade = deg if deg is not None and deg.affects_cpu else None
         self._threads: dict[int, _Thread] = {}
         self._queue = EventWheel()
         self._ops_executed = 0
@@ -252,6 +259,18 @@ class Engine:
         lock_episode = self._lock_episode
         barrier_episode = self._barrier_episode
         flag_epoch = self._flag_epoch
+        # CPU degradation, hoisted to locals for the Compute branch.
+        deg = self._degrade
+        if deg is not None:
+            cpu_f = deg.cpu_factors(self.config.nprocs)
+            burst_period = deg.burst_period
+            burst_len = burst_period * deg.burst_duty
+            burst_factor = deg.burst_factor
+            burst_phase = deg.burst_phase
+        else:
+            cpu_f = []
+            burst_period = burst_len = burst_phase = 0.0
+            burst_factor = 1.0
         # The hot loop allocates heavily (feedback tuples, results,
         # queue entries) but creates no reference cycles that must be
         # reclaimed mid-run; generation-0 collections were a measurable
@@ -342,6 +361,19 @@ class Engine:
                             obs.on_access(tid, now, rt, rs, ws, bf, busy)
                 elif cls is Compute:
                     cycles = op.cycles
+                    if deg is not None:
+                        # Per-node slowdown plus the phase-shifted burst
+                        # schedule (rectangular wave: the first
+                        # burst_len cycles of each period, node n's wave
+                        # shifted by n * burst_phase).  Factors of 1.0
+                        # multiply bit-identically.
+                        f = cpu_f[tid]
+                        if (
+                            burst_period > 0.0
+                            and (now + tid * burst_phase) % burst_period < burst_len
+                        ):
+                            f *= burst_factor
+                        cycles = cycles * f
                     stats.busy += cycles
                     t = now + cycles
                     if obs is not None and cycles > 0.0:

@@ -50,10 +50,20 @@ def golden_cases() -> dict[str, tuple[AppFactory, bool]]:
     return cases
 
 
-def run_case(factory: AppFactory, system: str, verify: bool, nprocs: int = 16) -> dict:
-    """One simulation -> JSON-able observable outcome."""
+def run_case(
+    factory: AppFactory,
+    system: str,
+    verify: bool,
+    nprocs: int = 16,
+    config: MachineConfig | None = None,
+) -> dict:
+    """One simulation -> JSON-able observable outcome.
+
+    ``config`` overrides the default machine (the neutrality tests pass
+    a config with an all-1.0 degradation spec installed).
+    """
     app = factory()
-    machine = Machine(MachineConfig(nprocs=nprocs), system)
+    machine = Machine(config if config is not None else MachineConfig(nprocs=nprocs), system)
     app.setup(machine)
     result = machine.run(app.worker)
     if verify:

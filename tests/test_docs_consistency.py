@@ -2,15 +2,19 @@
 
 Guards against documentation drift:
 
-* every CLI subcommand and long flag that ``repro.__main__.build_parser``
-  defines must be mentioned in README.md;
+* every CLI subcommand (including nested ones, e.g. ``repro scenario
+  run``) and long flag that ``repro.__main__.build_parser`` defines
+  must be mentioned in README.md;
 * the machine-constants table in docs/cost_model.md must list every
   :class:`MachineConfig` field with its actual default;
+* every registered degradation scenario (and each of its knobs) must be
+  documented in docs/scenarios.md;
 * module paths referenced in the docs must import.
 """
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
 import importlib
 import re
@@ -20,37 +24,39 @@ import pytest
 
 from repro.__main__ import build_parser
 from repro.config import MachineConfig
+from repro.scenarios import SCENARIO_NAMES, get_scenario
 
 ROOT = Path(__file__).resolve().parent.parent
 README = (ROOT / "README.md").read_text()
 COST_MODEL = (ROOT / "docs" / "cost_model.md").read_text()
+SCENARIOS_DOC = (ROOT / "docs" / "scenarios.md").read_text()
+
+
+def _walk_parser(
+    parser: argparse.ArgumentParser, prefix: str, commands: set[str], flags: set[str]
+) -> None:
+    for action in parser._actions:
+        flags.update(opt for opt in action.option_strings if opt.startswith("--"))
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                path = f"{prefix} {name}".strip()
+                commands.add(path)
+                _walk_parser(sub, path, commands, flags)
 
 
 def cli_surface() -> tuple[set[str], set[str]]:
-    """(subcommand names, long option strings) of the real parser."""
-    parser = build_parser()
-    subcommands: set[str] = set()
-    flags = {
-        opt
-        for action in parser._actions
-        for opt in action.option_strings
-        if opt.startswith("--")
-    }
-    for action in parser._actions:
-        if isinstance(action, type(parser._subparsers._group_actions[0])) and hasattr(
-            action, "choices"
-        ):
-            for name, sub in action.choices.items():
-                subcommands.add(name)
-                for sub_action in sub._actions:
-                    flags.update(o for o in sub_action.option_strings if o.startswith("--"))
+    """(full subcommand paths, long option strings) of the real parser."""
+    commands: set[str] = set()
+    flags: set[str] = set()
+    _walk_parser(build_parser(), "", commands, flags)
     flags.discard("--help")
-    return subcommands, flags
+    return commands, flags
 
 
 def test_every_cli_subcommand_documented_in_readme():
     subcommands, _ = cli_surface()
     assert subcommands  # the parser really has subcommands
+    assert "scenario run" in subcommands  # the walk really recurses
     missing = {cmd for cmd in subcommands if not re.search(rf"\brepro {cmd}\b", README)}
     assert not missing, f"README.md never shows these subcommands: {sorted(missing)}"
 
@@ -100,12 +106,38 @@ def test_cost_model_defaults_match_config(field):
         )
 
 
+def test_every_registered_scenario_documented():
+    """docs/scenarios.md is the handbook: every scenario has a section."""
+    missing = {
+        name
+        for name in SCENARIO_NAMES
+        if not re.search(rf"\b{re.escape(name)}\b", SCENARIOS_DOC)
+    }
+    assert not missing, f"docs/scenarios.md never mentions scenarios: {sorted(missing)}"
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_every_scenario_knob_documented(name):
+    scenario = get_scenario(name)
+    missing = {
+        knob.name
+        for knob in scenario.knobs
+        if not re.search(rf"\b{re.escape(knob.name)}\b", SCENARIOS_DOC)
+    }
+    assert not missing, (
+        f"docs/scenarios.md never mentions {name!r} knob(s): {sorted(missing)}"
+    )
+
+
 #: module paths the prose docs rely on (drift guard for renames).
 DOCUMENTED_MODULES = [
     "repro.apps.costs",
     "repro.core.bench",
     "repro.core.parallel",
     "repro.mem.cache",
+    "repro.scenarios.inject",
+    "repro.scenarios.registry",
+    "repro.scenarios.report",
     "repro.sim.engine",
 ]
 
