@@ -243,7 +243,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if tracer.dropped:
         log.warn(f"{tracer.dropped} trace event(s) dropped; raise --max-events")
     doc = to_perfetto(
-        tracer, cfg.nprocs, total_time=result.total_time, app=name, system=args.system
+        tracer, cfg.nprocs, total_time=result.total_time, app=name,
+        system=args.system, sync_names=machine.sync.sync_names(),
     )
     write_trace(args.out, doc)
     log.out(f"trace written to {args.out} ({len(doc['traceEvents'])} events)")
@@ -344,6 +345,66 @@ def cmd_check(args: argparse.Namespace) -> int:
         return 1
     log.out(f"OK: {len(outcomes)} run(s), no races, no invariant violations")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.static import load_baseline, repo_root, run_lint, write_baseline
+
+    log = get_logger()
+    root = Path(args.root).resolve() if args.root else repo_root()
+    apps = args.apps or args.all or not args.core
+    core = args.core or args.all or not args.apps
+    report, app_reports = run_lint(apps=apps, core=core, root=root)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    if args.write_baseline:
+        write_baseline(baseline_path, report)
+        log.out(
+            f"baseline written to {baseline_path} "
+            f"({len({f.key() for f in report.findings})} accepted finding(s))"
+        )
+        return 0
+    baseline = {} if args.no_baseline else load_baseline(baseline_path)
+    new = report.new_against(set(baseline))
+    stale = report.stale_baseline(set(baseline))
+
+    doc = report.to_doc()
+    doc["new"] = [f.key() for f in new]
+    doc["stale_baseline"] = stale
+    doc["apps"] = {
+        a.path: {
+            "classes": a.classes,
+            "race_labels": sorted(a.race_labels),
+            "summaries": {k: s.to_doc() for k, s in sorted(a.summaries.items())},
+        }
+        for a in app_reports
+    }
+    if args.report:
+        Path(args.report).write_text(json.dumps(doc, indent=2) + "\n")
+        log.out(f"findings report written to {args.report}")
+    if args.format == "json":
+        log.out(json.dumps(doc, indent=2))
+    else:
+        for f in new:
+            log.out(f.describe())
+        baselined = len(report.findings) - len(new)
+        if baselined:
+            log.out(f"{baselined} baselined finding(s) (see {baseline_path.name})")
+        for f in report.unused_suppressions:
+            log.out(f.describe())
+        for key in stale:
+            log.out(f"stale baseline entry (finding no longer produced): {key}")
+        log.out(
+            f"{report.files_scanned} file(s) scanned: {len(new)} new finding(s), "
+            f"{len(report.suppressed)} suppressed, "
+            f"{len(report.unused_suppressions)} unused suppression(s)"
+        )
+    failures = len(new)
+    if args.strict:
+        failures += len(report.unused_suppressions) + len(stale)
+    return 1 if failures else 0
 
 
 def cmd_scenario_list(args: argparse.Namespace) -> int:
@@ -660,6 +721,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(p_scn_run)
     _add_manifest_flag(p_scn_run)
     p_scn_run.set_defaults(func=cmd_scenario_run)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static sync/lockset analysis of apps + determinism lint of the core",
+    )
+    p_lint.add_argument(
+        "--apps", action="store_true", help="run only the app sync/lockset pass"
+    )
+    p_lint.add_argument(
+        "--core", action="store_true", help="run only the core determinism pass"
+    )
+    p_lint.add_argument(
+        "--all", action="store_true", help="run both passes (the default)"
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default="lint_baseline.json",
+        metavar="PATH",
+        help="accepted-findings baseline (relative paths resolve against the repo root)",
+    )
+    p_lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline: report everything"
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    p_lint.add_argument(
+        "--report", metavar="PATH", help="also write the full findings report as JSON"
+    )
+    p_lint.add_argument("--format", choices=("text", "json"), default="text")
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="unused suppressions and stale baseline entries also fail",
+    )
+    p_lint.add_argument(
+        "--root", metavar="DIR", help="lint a different source tree (testing)"
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_sys = sub.add_parser("systems", help="list systems and applications")
     p_sys.set_defaults(func=cmd_systems)

@@ -1,18 +1,18 @@
-"""Figure/table rendering and claim checking."""
+"""Figure/table rendering, claim checking, and static analysis.
 
-from .claims import (
-    ClaimCheck,
-    check_buffer_flush_order,
-    check_rcinv_read_stall_dominant,
-    check_read_stall_gap,
-    check_write_stall_order,
-    check_zmachine_near_zero,
-    format_claims,
-    standard_claims,
-)
-from .figures import format_comparison, format_figure, format_table1
+Exports are resolved lazily (PEP 562): the low-level naming helpers in
+:mod:`repro.analysis.naming` are imported by the runtime itself, so
+this package must be importable without pulling in the app/figure
+stack (which would be a circular import).
+"""
 
-__all__ = [
+from __future__ import annotations
+
+from typing import Any
+
+from .naming import sync_label
+
+_CLAIMS = (
     "ClaimCheck",
     "check_buffer_flush_order",
     "check_rcinv_read_stall_dominant",
@@ -20,8 +20,20 @@ __all__ = [
     "check_write_stall_order",
     "check_zmachine_near_zero",
     "format_claims",
-    "format_comparison",
-    "format_figure",
-    "format_table1",
     "standard_claims",
-]
+)
+_FIGURES = ("format_comparison", "format_figure", "format_table1")
+
+__all__ = ["sync_label", *_CLAIMS, *_FIGURES]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _CLAIMS:
+        from . import claims
+
+        return getattr(claims, name)
+    if name in _FIGURES:
+        from . import figures
+
+        return getattr(figures, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

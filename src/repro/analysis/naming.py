@@ -1,0 +1,37 @@
+"""Shared pretty-printer for synchronisation-object identity.
+
+Both the dynamic checkers (race reports, timeline export) and the
+static analyzer (:mod:`repro.analysis.static`) attribute findings to
+sync objects.  They must agree on the spelling, so the label format
+lives here:
+
+``kind[:name][#id]`` — e.g. ``lock:racy.lock#0``, ``barrier:bh.step#0``,
+or just ``lock:#3`` for an anonymous lock.
+
+The static pass knows declaration names but not runtime ids, so it
+emits ``lock:racy.lock``; the dynamic side emits ``lock:racy.lock#0``.
+A dynamic label always extends the static label of the same object,
+which is what the differential tests rely on.
+"""
+
+from __future__ import annotations
+
+SYNC_KINDS = ("lock", "barrier", "flag")
+
+
+def sync_label(kind: str, name: str = "", sync_id: int | None = None) -> str:
+    """Canonical human-readable label for a sync object.
+
+    ``kind`` is one of :data:`SYNC_KINDS` (trace kinds like
+    ``flag_set`` are normalised to their object kind).  ``name`` is the
+    user-supplied declaration name (may be empty); ``sync_id`` the
+    runtime id (``None`` when unknown, e.g. in static reports).
+    """
+    if kind.startswith("flag_"):
+        kind = "flag"
+    label = kind
+    if name:
+        label += f":{name}"
+    if sync_id is not None:
+        label += f"#{sync_id}" if name else f":#{sync_id}"
+    return label

@@ -1,0 +1,113 @@
+"""Static analysis: sync/lockset checking of apps + determinism lint.
+
+Two AST passes surfaced as ``repro lint``:
+
+* :mod:`.locksets` — Eraser-style static race analysis of every app
+  module (the *dynamic* counterpart is ``repro check``);
+* :mod:`.determinism` — repo-specific determinism / hot-path rules for
+  the simulator core.
+
+Both share the findings / suppression / baseline model in
+:mod:`.model`: accepted findings live in a committed
+``lint_baseline.json`` and only *new* findings fail the build.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .determinism import CORE_ROOTS, RULES, lint_core, lint_file
+from .locksets import AccessSite, AppReport, analyze_app_module, lint_apps
+from .model import (
+    BASELINE_FILE,
+    Finding,
+    LintReport,
+    SuppressionIndex,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "AccessSite",
+    "AppReport",
+    "BASELINE_FILE",
+    "CORE_ROOTS",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "SuppressionIndex",
+    "analyze_app_module",
+    "lint_apps",
+    "lint_core",
+    "lint_file",
+    "load_baseline",
+    "repo_root",
+    "run_lint",
+    "write_baseline",
+]
+
+
+def repo_root() -> Path:
+    """Repository root inferred from the installed package location."""
+    # src/repro/analysis/static/__init__.py -> repo root is 4 up from here.
+    return Path(__file__).resolve().parents[4]
+
+
+def run_lint(
+    apps: bool = True, core: bool = True, root: Path | None = None
+) -> tuple[LintReport, list[AppReport]]:
+    """Run the selected passes; returns (merged report, app details).
+
+    Inline ``# lint: ok[rule]`` and module-wide ``# lint:
+    ok-module[rule]`` pragmas are applied here, across both passes, and
+    pragmas that never fire become ``unused-suppression`` findings.
+    """
+    root = Path(root) if root is not None else repo_root()
+    merged = LintReport()
+    app_reports: list[AppReport] = []
+    raw: list[Finding] = []
+    pragmas = SuppressionIndex()
+
+    if apps:
+        report, app_reports = lint_apps(root)
+        for path in sorted((root / "src" / "repro" / "apps").glob("*.py")):
+            pragmas.add_file(path.relative_to(root).as_posix(), path.read_text())
+        raw.extend(report.findings)
+        merged.suppressed.extend(report.suppressed)
+        merged.unused_suppressions.extend(report.unused_suppressions)
+        merged.files_scanned += report.files_scanned
+    if core:
+        for entry in CORE_ROOTS:
+            base = root / entry
+            paths = sorted(base.rglob("*.py")) if base.is_dir() else [base]
+            for path in paths:
+                if path.exists():
+                    pragmas.add_file(path.relative_to(root).as_posix(), path.read_text())
+        report = lint_core(root)
+        raw.extend(report.findings)
+        merged.files_scanned += report.files_scanned
+
+    for finding in raw:
+        if pragmas.matches(finding):
+            merged.suppressed.append(finding)
+        else:
+            merged.findings.append(finding)
+    from .model import SEV_WARNING
+
+    for sup in pragmas.unused():
+        scope = "ok-module" if sup.module_wide else "ok"
+        merged.unused_suppressions.append(
+            Finding(
+                rule="unused-suppression",
+                path=sup.path,
+                line=sup.line,
+                severity=SEV_WARNING,
+                message=(
+                    f"pragma '# lint: {scope}[{sup.rule}]' never suppresses "
+                    f"a finding; remove it"
+                ),
+                detail=f"unused-pragma:{scope}:{sup.rule}:{sup.line}",
+            )
+        )
+    merged.sort()
+    return merged, app_reports

@@ -1,0 +1,356 @@
+"""Pass 2: determinism / hot-path lint for the simulator core.
+
+Repo-specific AST rules over ``src/repro/{sim,mem,network,core}`` (plus
+``config.py``).  Determinism is the load-bearing property of the whole
+reproduction — golden runs are bit-identical, and the ROADMAP's sharded
+(PDES) engine will only keep that promise if simulation code never
+depends on wall-clock, unseeded randomness, or unordered iteration.
+
+Rules
+-----
+``wall-clock``
+    Calls to ``time.time/perf_counter/monotonic/...`` or
+    ``datetime.now/today/utcnow``.  Measurement harnesses legitimately
+    time themselves: they carry a module-wide
+    ``# lint: ok-module[wall-clock]`` pragma.
+``unseeded-random``
+    Any use of the global ``random`` module or ``numpy.random.*``
+    convenience functions.  Seeded generator objects
+    (``random.Random(seed)``, ``numpy.random.default_rng(seed)``) are
+    fine — state then flows through an explicit, seedable object.
+``set-iteration``
+    Iterating (or materialising via ``list``/``tuple``) a value
+    statically known to be a ``set``/``frozenset`` — iteration order is
+    salted per process, so any simulation state that flows through it
+    diverges across shards.  ``sorted(...)`` normalises and is allowed.
+``nonfrozen-config``
+    ``*Config`` dataclasses must be ``frozen=True``: configs are hashed
+    into cache keys and shared across worker processes.
+``hot-slots``
+    A class whose ``class`` line carries ``# lint: hot`` must define
+    ``__slots__`` (or be a ``dataclass(slots=True)``).
+``fastpath-alloc``
+    A loop whose header carries ``# lint: fastpath`` must not contain
+    ``try``/``with``, comprehensions, lambdas, f-strings, or nested
+    function definitions — each is an allocation or setup cost per
+    iteration on the measured hot path.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .model import Finding, LintReport
+
+RULES = (
+    "wall-clock",
+    "unseeded-random",
+    "set-iteration",
+    "nonfrozen-config",
+    "hot-slots",
+    "fastpath-alloc",
+)
+
+#: Default scan roots, relative to the repo root.
+CORE_ROOTS = (
+    "src/repro/sim",
+    "src/repro/mem",
+    "src/repro/network",
+    "src/repro/core",
+    "src/repro/config.py",
+)
+
+_WALL_CLOCK_TIME = {
+    "time", "perf_counter", "monotonic", "process_time",
+    "time_ns", "perf_counter_ns", "monotonic_ns", "process_time_ns",
+}
+_WALL_CLOCK_DATETIME = {"now", "today", "utcnow"}
+_HOT_MARK = "# lint: hot"
+_FASTPATH_MARK = "# lint: fastpath"
+
+
+def _is_attr_call(node: ast.Call, owner: str, names: set[str]) -> str | None:
+    """Return the attr name if ``node`` is ``owner.<attr in names>(...)``."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in names
+        and isinstance(func.value, ast.Name)
+        and func.value.id == owner
+    ):
+        return func.attr
+    return None
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.lines = source.splitlines()
+        self.findings: list[Finding] = []
+        #: names locally assigned a set value, per enclosing function.
+        self._set_names: list[set[str]] = [set()]
+        #: attribute names annotated/assigned as sets on self.
+        self._set_attrs: set[str] = set()
+
+    def _add(self, rule: str, node: ast.AST, message: str, detail: str = "") -> None:
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                message=message,
+                detail=detail or message,
+            )
+        )
+
+    def _line(self, node: ast.AST) -> str:
+        lineno = getattr(node, "lineno", 0)
+        return self.lines[lineno - 1] if 0 < lineno <= len(self.lines) else ""
+
+    # -- wall-clock / random --------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:  # noqa: N802
+        attr = _is_attr_call(node, "time", _WALL_CLOCK_TIME)
+        if attr is not None:
+            self._add(
+                "wall-clock",
+                node,
+                f"time.{attr}() in simulation code: wall-clock breaks "
+                f"run-to-run determinism; derive timing from simulated cycles",
+                detail=f"wall-clock:time.{attr}",
+            )
+        attr = _is_attr_call(node, "datetime", _WALL_CLOCK_DATETIME)
+        if attr is not None:
+            self._add(
+                "wall-clock",
+                node,
+                f"datetime.{attr}() in simulation code: wall-clock breaks "
+                f"run-to-run determinism",
+                detail=f"wall-clock:datetime.{attr}",
+            )
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner, name = func.value.id, func.attr
+            if owner == "random" and not (name == "Random" and (node.args or node.keywords)):
+                self._add(
+                    "unseeded-random",
+                    node,
+                    f"random.{name}() uses the shared global RNG; pass a "
+                    f"seeded random.Random(seed) object instead",
+                    detail=f"unseeded-random:random.{name}",
+                )
+        # numpy.random.<fn>(...) convenience API
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+            and func.value.attr == "random"
+            and func.attr not in ("default_rng", "Generator", "SeedSequence")
+        ):
+            self._add(
+                "unseeded-random",
+                node,
+                f"numpy.random.{func.attr}() uses the global numpy RNG; use "
+                f"numpy.random.default_rng(seed)",
+                detail=f"unseeded-random:numpy.random.{func.attr}",
+            )
+        # list(<set>) / tuple(<set>) materialises salted order.
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("list", "tuple")
+            and len(node.args) == 1
+            and self._is_set_expr(node.args[0])
+        ):
+            self._add(
+                "set-iteration",
+                node,
+                f"{func.id}() of a set materialises salted iteration order; "
+                f"wrap in sorted(...)",
+                detail=f"set-iteration:{func.id}",
+            )
+        self.generic_visit(node)
+
+    # -- set-tracking ----------------------------------------------------
+    def _is_set_expr(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in ("set", "frozenset")
+        if isinstance(expr, ast.Name):
+            return expr.id in self._set_names[-1]
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            if expr.value.id == "self" and expr.attr in self._set_attrs:
+                return True
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(expr.left) or self._is_set_expr(expr.right)
+        return False
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.expr) -> bool:
+        if isinstance(annotation, ast.Name):
+            return annotation.id in ("set", "frozenset")
+        if isinstance(annotation, ast.Subscript) and isinstance(annotation.value, ast.Name):
+            return annotation.value.id in ("set", "frozenset")
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:  # noqa: N802
+        for target in node.targets:
+            if isinstance(target, ast.Name) and self._is_set_expr(node.value):
+                self._set_names[-1].add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:  # noqa: N802
+        if self._is_set_annotation(node.annotation):
+            if isinstance(node.target, ast.Name):
+                self._set_names[-1].add(node.target.id)
+            elif (
+                isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == "self"
+            ):
+                self._set_attrs.add(node.target.attr)
+        self.generic_visit(node)
+
+    def _check_iter(self, iter_expr: ast.expr, node: ast.AST) -> None:
+        if self._is_set_expr(iter_expr):
+            self._add(
+                "set-iteration",
+                node,
+                "iteration over a set: order is salted per process and "
+                "diverges across shards; iterate sorted(...) instead",
+                detail="set-iteration:for",
+            )
+
+    def visit_For(self, node: ast.For) -> None:  # noqa: N802
+        self._check_iter(node.iter, node)
+        self._check_fastpath(node)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:  # noqa: N802
+        self._check_fastpath(node)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:  # noqa: N802
+        self._check_iter(node.iter, node.iter)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:  # noqa: N802
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # noqa: N815
+
+    # -- class rules ------------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:  # noqa: N802
+        self._check_config_frozen(node)
+        if _HOT_MARK in self._line(node):
+            self._check_hot_slots(node)
+        self.generic_visit(node)
+
+    def _dataclass_decorator(self, node: ast.ClassDef) -> ast.expr | None:
+        for dec in node.decorator_list:
+            name = dec
+            if isinstance(dec, ast.Call):
+                name = dec.func
+            if isinstance(name, ast.Name) and name.id == "dataclass":
+                return dec
+            if isinstance(name, ast.Attribute) and name.attr == "dataclass":
+                return dec
+        return None
+
+    def _decorator_flag(self, dec: ast.expr, flag: str) -> bool:
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if kw.arg == flag and isinstance(kw.value, ast.Constant):
+                    return bool(kw.value.value)
+        return False
+
+    def _check_config_frozen(self, node: ast.ClassDef) -> None:
+        if not node.name.endswith("Config"):
+            return
+        dec = self._dataclass_decorator(node)
+        if dec is None:
+            return
+        if not self._decorator_flag(dec, "frozen"):
+            self._add(
+                "nonfrozen-config",
+                node,
+                f"dataclass {node.name} must be frozen=True: configs are "
+                f"hashed into cache keys and shared across processes",
+                detail=f"nonfrozen-config:{node.name}",
+            )
+
+    def _check_hot_slots(self, node: ast.ClassDef) -> None:
+        dec = self._dataclass_decorator(node)
+        if dec is not None and self._decorator_flag(dec, "slots"):
+            return
+        for stmt in node.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for t in targets:
+                    if isinstance(t, ast.Name) and t.id == "__slots__":
+                        return
+        self._add(
+            "hot-slots",
+            node,
+            f"class {node.name} is marked '# lint: hot' but defines no "
+            f"__slots__: per-instance dicts cost memory and attribute-"
+            f"lookup time on the measured hot path",
+            detail=f"hot-slots:{node.name}",
+        )
+
+    # -- fast-path loops ---------------------------------------------------
+    def _check_fastpath(self, node: ast.For | ast.While) -> None:
+        if _FASTPATH_MARK not in self._line(node):
+            return
+        banned = {
+            ast.Try: "try/except",
+            ast.With: "with",
+            ast.Lambda: "lambda",
+            ast.ListComp: "list comprehension",
+            ast.SetComp: "set comprehension",
+            ast.DictComp: "dict comprehension",
+            ast.GeneratorExp: "generator expression",
+            ast.JoinedStr: "f-string",
+            ast.FunctionDef: "nested def",
+        }
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            label = banned.get(type(child))
+            if label is not None:
+                self._add(
+                    "fastpath-alloc",
+                    child,
+                    f"{label} inside a '# lint: fastpath' loop: allocates or "
+                    f"sets up handlers on every iteration of the hot path",
+                    detail=f"fastpath-alloc:{label}:{getattr(child, 'lineno', 0)}",
+                )
+
+
+def lint_file(path: Path, rel_path: str | None = None) -> list[Finding]:
+    """Run Pass 2 rules over one file (pragmas NOT applied here)."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    linter = _FileLinter(rel_path or str(path), source)
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_core(root: Path, roots: tuple[str, ...] = CORE_ROOTS) -> LintReport:
+    """Run Pass 2 over the simulator-core scan roots."""
+    report = LintReport()
+    for entry in roots:
+        base = root / entry
+        paths = sorted(base.rglob("*.py")) if base.is_dir() else [base]
+        for path in paths:
+            if not path.exists():
+                continue
+            rel = path.relative_to(root).as_posix()
+            report.findings.extend(lint_file(path, rel))
+            report.files_scanned += 1
+    return report

@@ -1,0 +1,839 @@
+"""Pass 1: static Eraser-style lockset / sync analysis of app modules.
+
+Apps in this repo are generator coroutines over a small, closed
+vocabulary of shared-memory and sync operations (``SharedArray`` /
+``SharedScalar`` accessors, ``Lock`` / ``Barrier`` primitives, and the
+``hot_access`` zero-call pattern).  That makes a useful static race
+analysis tractable: we symbolically walk the worker's AST — inlining
+``yield from self._helper(...)`` calls — tracking per-path
+
+* the **lockset** (Eraser): which declared locks are held.  Locks from
+  a collection (``self.vlocks[v]``) collapse to one symbolic token
+  ``vlocks[*]`` — coarse, but matches the per-element-lock idiom where
+  the element index and the lock index coincide;
+* the **barrier interval**: a counter bumped at every ``barrier.wait``.
+  Accesses in different intervals of a straight-line walk are ordered.
+  A loop whose body contains barriers is handled soundly only when the
+  body *ends* with a barrier wait (the SPMD idiom); otherwise all its
+  accesses are conservatively collapsed into the entry interval;
+* **exclusive guards** (``if pid == 0:``) under which only one
+  processor executes;
+* **pid-ownership** of index expressions: an index derived from
+  ``ctx.pid`` (directly or through helpers like ``self._slice(pid,
+  ...)``) identifies an owner-computes partition.  A site conflicts
+  with itself across processors only if its index is *not*
+  pid-dependent; two different sites are non-conflicting only if their
+  canonicalised owner forms are *identical* (``pid`` vs ``1 - pid``
+  still conflicts — that is RacyDemo's seeded read/write race).
+
+Two sites on the same array conflict when at least one writes, they
+can fall in the same barrier interval, their locksets do not
+intersect, and no ownership/exclusivity argument separates them.
+``relaxed="read"`` declarations suppress read/write conflicts (the
+paper's labeled competing accesses), ``relaxed="all"`` suppresses
+everything; labels that suppress nothing are reported unused.
+
+Flags and fences are counted in the per-function summaries but carry
+no happens-before edges here — app code synchronises via locks and
+barriers; channel flag protocols are runtime-internal and out of
+scope for this pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .model import SEV_WARNING, Finding, LintReport
+
+#: SharedArray / SharedScalar generator methods -> access kinds.
+_ARRAY_ACCESS: dict[str, tuple[str, ...]] = {
+    "read": ("r",),
+    "get": ("r",),
+    "read_range": ("r",),
+    "write": ("w",),
+    "set": ("w",),
+    "write_range": ("w",),
+    "add": ("r", "w"),
+    "incr": ("r", "w"),
+}
+#: host-side (unsimulated) accessors: setup/verify only, never racy.
+_UNSIMULATED = {"peek", "poke", "poke_many", "snapshot", "value", "addr", "hot_access"}
+
+
+@dataclass(frozen=True)
+class SharedDecl:
+    """A ``self.X = shm.array(...)/scalar(...)`` declaration."""
+
+    attr: str
+    label: str
+    relaxed: str
+    line: int
+    kind: str  # "array" | "scalar"
+
+
+@dataclass
+class AccessSite:
+    """One static shared-memory access with its dominating sync state."""
+
+    array: str  # declaring attribute
+    label: str  # shm name (matches dynamic race reports)
+    rw: str  # "r" | "w"
+    line: int
+    func: str
+    lockset: frozenset[str]
+    interval: int
+    exclusive: str | None
+    owner: str | None  # canonical pid-derived index form, None = shared
+
+    def brief(self) -> str:
+        where = f"{self.func}:{self.line}"
+        locks = "{" + ",".join(sorted(self.lockset)) + "}"
+        own = f" index={self.owner}" if self.owner else ""
+        excl = f" [{self.exclusive}]" if self.exclusive else ""
+        kind = "write" if self.rw == "w" else "read"
+        return f"{kind} at {where} locks={locks}{own}{excl}"
+
+
+@dataclass
+class FuncSummary:
+    """Per-function operation counts (the pass's summary artifact)."""
+
+    reads: int = 0
+    writes: int = 0
+    acquires: int = 0
+    releases: int = 0
+    barrier_waits: int = 0
+    flag_ops: int = 0
+    fence_ops: int = 0
+
+    def to_doc(self) -> dict[str, int]:
+        return {k: v for k, v in self.__dict__.items()}
+
+
+@dataclass
+class AppReport:
+    """Analysis result for one app module."""
+
+    path: str
+    classes: list[str] = field(default_factory=list)
+    decls: dict[str, SharedDecl] = field(default_factory=dict)
+    sites: list[AccessSite] = field(default_factory=list)
+    summaries: dict[str, FuncSummary] = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    unused: list[Finding] = field(default_factory=list)
+
+    @property
+    def race_labels(self) -> set[str]:
+        """Shared-array labels with at least one reported race finding."""
+        return {
+            f.detail.split(":")[1]
+            for f in self.findings
+            if f.rule == "lockset-race" and f.detail.startswith("race:")
+        }
+
+
+class _State:
+    """Path-sensitive facts: lockset, barrier interval, exclusivity."""
+
+    __slots__ = ("lockset", "interval", "exclusive")
+
+    def __init__(
+        self,
+        lockset: frozenset[str] = frozenset(),
+        interval: int = 0,
+        exclusive: str | None = None,
+    ):
+        self.lockset = lockset
+        self.interval = interval
+        self.exclusive = exclusive
+
+    def fork(self) -> _State:
+        return _State(self.lockset, self.interval, self.exclusive)
+
+    def merge(self, other: _State) -> None:
+        """Join two branches: locks held on *both*, earliest interval."""
+        self.lockset = self.lockset & other.lockset
+        self.interval = min(self.interval, other.interval)
+        if self.exclusive != other.exclusive:
+            self.exclusive = None
+
+
+class _Frame:
+    """Per-inlined-function local environment."""
+
+    __slots__ = ("func", "ctx_names", "owners", "opnames", "lockaliases", "addr_index")
+
+    def __init__(self, func: str):
+        self.func = func
+        #: parameter/local names bound to the AppContext object.
+        self.ctx_names: set[str] = set()
+        #: local name -> canonical pid-derived form ("pid", "in:range(lo, hi)", ...)
+        self.owners: dict[str, str] = {}
+        #: hot_access op variable -> (array attr, "r"/"w")
+        self.opnames: dict[str, tuple[str, str]] = {}
+        #: local lock alias -> lockset token
+        self.lockaliases: dict[str, str] = {}
+        #: hot_access op variable -> last `op.addr = ...` index expression
+        self.addr_index: dict[str, ast.expr] = {}
+
+
+_TERMINATORS = (ast.Return, ast.Break, ast.Continue, ast.Raise)
+_MAX_INLINE_DEPTH = 8
+
+
+class _ClassAnalyzer:
+    """Analyses one Application-style class (``setup`` + ``worker``)."""
+
+    def __init__(self, path: str, cls: ast.ClassDef):
+        self.path = path
+        self.cls = cls
+        self.methods = {
+            n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)
+        }
+        self.shared: dict[str, SharedDecl] = {}
+        self.locks: set[str] = set()
+        self.lock_collections: set[str] = set()
+        self.barriers: set[str] = set()
+        self.opaque: set[str] = set()  # CentralQueue / TaskPool handles
+        self.sites: list[AccessSite] = []
+        self.summaries: dict[str, FuncSummary] = {}
+        self._inline_stack: list[str] = []
+
+    # -- declaration scan ----------------------------------------------
+    def collect_decls(self) -> None:
+        for name in ("__init__", "setup"):
+            fn = self.methods.get(name)
+            if fn is not None:
+                for node in ast.walk(fn):
+                    if isinstance(node, ast.Assign):
+                        self._scan_decl(node)
+
+    def _scan_decl(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return
+        attr = target.attr
+        value = node.value
+        # self.X = [Lock(...) for ...]
+        if isinstance(value, ast.ListComp) and self._ctor_name(value.elt) == "Lock":
+            self.lock_collections.add(attr)
+            return
+        if not isinstance(value, ast.Call):
+            return
+        ctor = self._ctor_name(value)
+        if ctor == "Lock":
+            self.locks.add(attr)
+        elif ctor == "Barrier":
+            self.barriers.add(attr)
+        elif ctor in ("CentralQueue", "TaskPool"):
+            self.opaque.add(attr)
+        elif isinstance(value.func, ast.Attribute) and value.func.attr in ("array", "scalar"):
+            kind = value.func.attr
+            label_idx = 1 if kind == "array" else 0
+            label = attr
+            if len(value.args) > label_idx and isinstance(
+                value.args[label_idx], ast.Constant
+            ):
+                label = str(value.args[label_idx].value)
+            relaxed = ""
+            for kw in value.keywords:
+                if kw.arg == "name" and isinstance(kw.value, ast.Constant):
+                    label = str(kw.value.value)
+                elif kw.arg == "relaxed" and isinstance(kw.value, ast.Constant):
+                    relaxed = str(kw.value.value)
+            self.shared[attr] = SharedDecl(
+                attr=attr, label=label, relaxed=relaxed, line=node.lineno, kind=kind
+            )
+
+    @staticmethod
+    def _ctor_name(expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Call):
+            if isinstance(expr.func, ast.Name):
+                return expr.func.id
+            if isinstance(expr.func, ast.Attribute):
+                return expr.func.attr
+        return None
+
+    # -- canonicalisation / pid taint ----------------------------------
+    def _canon(self, expr: ast.expr, fr: _Frame) -> tuple[str, bool]:
+        """(canonical text, pid-tainted?) of an index/guard expression.
+
+        Names bound to pid-derived values are replaced by their
+        canonical forms, so the same partition computed at two sites
+        unparses identically.
+        """
+        tainted = [False]
+        frame = fr
+
+        class _Rewrite(ast.NodeTransformer):
+            def visit_Attribute(self, node: ast.Attribute):  # noqa: N802
+                if (
+                    node.attr == "pid"
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in frame.ctx_names
+                ):
+                    tainted[0] = True
+                    return ast.copy_location(ast.Name(id="pid", ctx=ast.Load()), node)
+                return self.generic_visit(node)
+
+            def visit_Name(self, node: ast.Name):  # noqa: N802
+                form = frame.owners.get(node.id)
+                if form is not None:
+                    tainted[0] = True
+                    return ast.copy_location(ast.Name(id=form, ctx=ast.Load()), node)
+                return node
+
+        tree = _Rewrite().visit(copy.deepcopy(expr))
+        ast.fix_missing_locations(tree)
+        try:
+            text = ast.unparse(tree)
+        except Exception:  # pragma: no cover - unparse is total on exprs
+            text = ast.dump(tree)
+        return text, tainted[0]
+
+    def _owner_of(self, expr: ast.expr | None, fr: _Frame) -> str | None:
+        if expr is None:
+            return None
+        text, tainted = self._canon(expr, fr)
+        return text if tainted else None
+
+    # -- interpretation ------------------------------------------------
+    def run(self) -> None:
+        self.collect_decls()
+        worker = self.methods.get("worker")
+        if worker is None or not self._has_yields(worker):
+            return
+        fr = _Frame("worker")
+        args = worker.args.args
+        if len(args) > 1:
+            fr.ctx_names.add(args[1].arg)
+        st = _State()
+        self._walk_stmts(worker.body, st, fr)
+
+    @staticmethod
+    def _has_yields(fn: ast.FunctionDef) -> bool:
+        return any(
+            isinstance(n, (ast.Yield, ast.YieldFrom)) for n in ast.walk(fn)
+        )
+
+    def _summary(self, fr: _Frame) -> FuncSummary:
+        return self.summaries.setdefault(fr.func, FuncSummary())
+
+    def _walk_stmts(self, stmts: list[ast.stmt], st: _State, fr: _Frame) -> bool:
+        """Interpret a statement list; returns False if it terminates."""
+        for stmt in stmts:
+            if isinstance(stmt, _TERMINATORS):
+                if isinstance(stmt, ast.Return) and stmt.value is not None:
+                    self._walk_expr(stmt.value, st, fr)
+                return False
+            self._walk_stmt(stmt, st, fr)
+        return True
+
+    def _walk_stmt(self, stmt: ast.stmt, st: _State, fr: _Frame) -> None:
+        if isinstance(stmt, ast.Expr):
+            self._walk_expr(stmt.value, st, fr)
+        elif isinstance(stmt, ast.Assign):
+            self._walk_assign(stmt, st, fr)
+        elif isinstance(stmt, ast.AugAssign):
+            self._walk_expr(stmt.value, st, fr)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._walk_expr(stmt.value, st, fr)
+        elif isinstance(stmt, ast.If):
+            self._walk_if(stmt, st, fr)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            self._walk_loop(stmt, st, fr)
+        elif isinstance(stmt, ast.With):
+            self._walk_stmts(stmt.body, st, fr)
+        elif isinstance(stmt, ast.Try):
+            self._walk_stmts(stmt.body, st, fr)
+            for handler in stmt.handlers:
+                self._walk_stmts(handler.body, st.fork(), fr)
+            self._walk_stmts(stmt.finalbody, st, fr)
+        # FunctionDef/ClassDef/imports inside workers: out of scope.
+
+    def _walk_if(self, stmt: ast.If, st: _State, fr: _Frame) -> None:
+        body_st = st.fork()
+        body_st.exclusive = self._exclusive_guard(stmt.test, fr) or st.exclusive
+        body_falls = self._walk_stmts(stmt.body, body_st, fr)
+        else_st = st.fork()
+        else_falls = self._walk_stmts(stmt.orelse, else_st, fr)
+        if body_falls and else_falls:
+            body_st.merge(else_st)
+            st.lockset, st.interval = body_st.lockset, body_st.interval
+            st.exclusive = body_st.exclusive if body_st.exclusive == st.exclusive else st.exclusive
+        elif body_falls:
+            st.lockset, st.interval = body_st.lockset, body_st.interval
+        elif else_falls:
+            st.lockset, st.interval = else_st.lockset, else_st.interval
+        # neither falls through: caller's next statements are unreachable
+        # on this path; keep st unchanged (conservative).
+
+    def _exclusive_guard(self, test: ast.expr, fr: _Frame) -> str | None:
+        """Recognise ``if pid == <const>`` single-processor guards."""
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and isinstance(test.comparators[0], ast.Constant)
+        ):
+            return None
+        left, tainted = self._canon(test.left, fr)
+        if tainted and left == "pid":
+            return f"pid == {test.comparators[0].value!r}"
+        return None
+
+    def _walk_loop(self, stmt: ast.For | ast.While, st: _State, fr: _Frame) -> None:
+        if isinstance(stmt, ast.For):
+            self._bind_loop_target(stmt.target, stmt.iter, fr)
+        entry_interval = st.interval
+        sites_start = len(self.sites)
+        self._walk_stmts(stmt.body, st, fr)
+        if st.interval != entry_interval and not self._ends_with_barrier(stmt.body):
+            # Barriers inside the loop but not at its end: iteration
+            # k+1's head may run concurrently with iteration k's tail.
+            # Collapse the whole body into the entry interval.
+            for site in self.sites[sites_start:]:
+                site.interval = entry_interval
+            st.interval = entry_interval
+        self._walk_stmts(stmt.orelse, st, fr)
+
+    def _ends_with_barrier(self, body: list[ast.stmt]) -> bool:
+        last = body[-1] if body else None
+        if not (isinstance(last, ast.Expr) and isinstance(last.value, ast.YieldFrom)):
+            return False
+        call = last.value.value
+        return (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "wait"
+        )
+
+    def _bind_loop_target(self, target: ast.expr, iter_: ast.expr, fr: _Frame) -> None:
+        form, tainted = self._canon(iter_, fr)
+        names: list[str] = []
+        if isinstance(target, ast.Name):
+            names = [target.id]
+        elif isinstance(target, ast.Tuple):
+            names = [e.id for e in target.elts if isinstance(e, ast.Name)]
+        for k, name in enumerate(names):
+            if tainted:
+                suffix = f"[{k}]" if len(names) > 1 else ""
+                fr.owners[name] = f"in:{form}{suffix}"
+            else:
+                fr.owners.pop(name, None)
+
+    # -- assignments ----------------------------------------------------
+    def _walk_assign(self, stmt: ast.Assign, st: _State, fr: _Frame) -> None:
+        value = stmt.value
+        if isinstance(value, ast.YieldFrom):
+            self._yield_from(value.value, st, fr)
+            self._untaint_targets(stmt.targets, fr)
+            return
+        # `krd, _, kbase, kword, kdata = self.keys.hot_access()`
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "hot_access"
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Tuple)
+        ):
+            attr = self._shared_attr(value.func.value)
+            if attr is not None:
+                elts = stmt.targets[0].elts
+                for k, rw in ((0, "r"), (1, "w")):
+                    if k < len(elts) and isinstance(elts[k], ast.Name):
+                        name = elts[k].id
+                        if name != "_":
+                            fr.opnames[name] = (attr, rw)
+                return
+        # `op.addr = base + i * word`
+        if (
+            len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Attribute)
+            and stmt.targets[0].attr == "addr"
+            and isinstance(stmt.targets[0].value, ast.Name)
+            and stmt.targets[0].value.id in fr.opnames
+        ):
+            fr.addr_index[stmt.targets[0].value.id] = self._element_index(value)
+            return
+        # `lock = self.locks[j]`
+        if (
+            len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(value, ast.Subscript)
+        ):
+            attr = self._self_attr(value.value)
+            if attr in self.lock_collections:
+                fr.lockaliases[stmt.targets[0].id] = f"{attr}[*]"
+                return
+        self._walk_expr(value, st, fr)
+        self._bind_targets(stmt.targets, value, fr)
+
+    def _untaint_targets(self, targets: list[ast.expr], fr: _Frame) -> None:
+        """Values returned from simulated calls are data, not pids."""
+        for target in targets:
+            names = (
+                [target] if isinstance(target, ast.Name) else
+                list(target.elts) if isinstance(target, ast.Tuple) else []
+            )
+            for n in names:
+                if isinstance(n, ast.Name):
+                    fr.owners.pop(n.id, None)
+
+    def _bind_targets(self, targets: list[ast.expr], value: ast.expr, fr: _Frame) -> None:
+        if len(targets) != 1:
+            return
+        target = targets[0]
+        # `pid = ctx.pid` and friends / general owner propagation.
+        if isinstance(target, ast.Name):
+            if (
+                isinstance(value, ast.Name)
+                and value.id in fr.ctx_names
+            ):
+                fr.ctx_names.add(target.id)
+                return
+            form, tainted = self._canon(value, fr)
+            if tainted:
+                fr.owners[target.id] = form
+            else:
+                fr.owners.pop(target.id, None)
+            return
+        if isinstance(target, ast.Tuple):
+            elts = [e for e in target.elts if isinstance(e, ast.Name)]
+            if isinstance(value, ast.Tuple) and len(value.elts) == len(target.elts):
+                for t, v in zip(target.elts, value.elts):
+                    if isinstance(t, ast.Name):
+                        self._bind_targets([t], v, fr)
+                return
+            form, tainted = self._canon(value, fr)
+            for k, e in enumerate(elts):
+                if tainted:
+                    fr.owners[e.id] = f"{form}[{k}]"
+                else:
+                    fr.owners.pop(e.id, None)
+
+    # -- expressions (yields live here) --------------------------------
+    def _walk_expr(self, expr: ast.expr, st: _State, fr: _Frame) -> None:
+        if isinstance(expr, ast.YieldFrom):
+            self._yield_from(expr.value, st, fr)
+        elif isinstance(expr, ast.Yield):
+            self._bare_yield(expr.value, st, fr)
+        elif isinstance(expr, (ast.BoolOp, ast.BinOp, ast.UnaryOp, ast.Compare)):
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    self._walk_expr(child, st, fr)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._walk_expr(arg, st, fr)
+            for kw in expr.keywords:
+                self._walk_expr(kw.value, st, fr)
+        elif isinstance(expr, ast.IfExp):
+            self._walk_expr(expr.test, st, fr)
+            self._walk_expr(expr.body, st.fork(), fr)
+            self._walk_expr(expr.orelse, st.fork(), fr)
+
+    def _bare_yield(self, value: ast.expr | None, st: _State, fr: _Frame) -> None:
+        """``yield krd`` — the hot_access zero-call pattern."""
+        if isinstance(value, ast.Name) and value.id in fr.opnames:
+            attr, rw = fr.opnames[value.id]
+            self._record_access(
+                attr, rw, value.lineno, fr.addr_index.get(value.id), st, fr
+            )
+
+    def _yield_from(self, call: ast.expr, st: _State, fr: _Frame) -> None:
+        if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute)):
+            return
+        method = call.func.attr
+        recv = call.func.value
+
+        # lock / barrier operations
+        token = self._lock_token(recv, fr)
+        if token is not None and method in ("acquire", "release"):
+            summary = self._summary(fr)
+            if method == "acquire":
+                st.lockset = st.lockset | {token}
+                summary.acquires += 1
+            else:
+                st.lockset = st.lockset - {token}
+                summary.releases += 1
+            return
+        if method == "wait" and self._self_attr(recv) in self.barriers:
+            st.interval += 1
+            self._summary(fr).barrier_waits += 1
+            return
+        if method in ("flag_set", "flag_wait", "produce", "consume"):
+            self._summary(fr).flag_ops += 1
+            return
+        if method == "fence":
+            self._summary(fr).fence_ops += 1
+            return
+
+        # shared-memory accesses
+        attr = self._shared_attr(recv)
+        if attr is not None and method in _ARRAY_ACCESS:
+            index = self._access_index(call, method)
+            for rw in _ARRAY_ACCESS[method]:
+                self._record_access(attr, rw, call.lineno, index, st, fr)
+            return
+        if attr is not None and method in _UNSIMULATED:
+            return
+
+        # opaque runtime objects (work queues): internally synchronised.
+        recv_attr = self._self_attr(recv)
+        if recv_attr in self.opaque:
+            return
+
+        # `yield from self._helper(...)`: inline, context-sensitively.
+        if (
+            isinstance(recv, ast.Name)
+            and recv.id == "self"
+            and method in self.methods
+            and method not in self._inline_stack
+            and len(self._inline_stack) < _MAX_INLINE_DEPTH
+        ):
+            self._inline(self.methods[method], call, st, fr)
+
+    def _inline(
+        self, fn: ast.FunctionDef, call: ast.Call, st: _State, fr: _Frame
+    ) -> None:
+        callee = _Frame(fn.name)
+        params = [a.arg for a in fn.args.args[1:]]  # drop self
+        for param, arg in zip(params, call.args):
+            if isinstance(arg, ast.Name) and arg.id in fr.ctx_names:
+                callee.ctx_names.add(param)
+                continue
+            form = self._owner_of(arg, fr)
+            if form is not None:
+                callee.owners[param] = form
+        self._inline_stack.append(fn.name)
+        try:
+            self._walk_stmts(fn.body, st, callee)
+        finally:
+            self._inline_stack.pop()
+
+    # -- access helpers -------------------------------------------------
+    def _access_index(self, call: ast.Call, method: str) -> ast.expr | None:
+        if method in ("get", "set", "incr"):
+            return ast.Constant(value=0)
+        if call.args:
+            return call.args[0]
+        return None
+
+    @staticmethod
+    def _element_index(expr: ast.expr) -> ast.expr:
+        """Extract ``i`` from the ``base + i * word`` address pattern."""
+        if (
+            isinstance(expr, ast.BinOp)
+            and isinstance(expr.op, ast.Add)
+            and isinstance(expr.right, ast.BinOp)
+            and isinstance(expr.right.op, ast.Mult)
+        ):
+            return expr.right.left
+        return expr
+
+    def _record_access(
+        self,
+        attr: str,
+        rw: str,
+        line: int,
+        index: ast.expr | None,
+        st: _State,
+        fr: _Frame,
+    ) -> None:
+        decl = self.shared.get(attr)
+        if decl is None:
+            return
+        summary = self._summary(fr)
+        if rw == "w":
+            summary.writes += 1
+        else:
+            summary.reads += 1
+        site = AccessSite(
+            array=attr,
+            label=decl.label,
+            rw=rw,
+            line=line,
+            func=fr.func,
+            lockset=st.lockset,
+            interval=st.interval,
+            exclusive=st.exclusive,
+            owner=self._owner_of(index, fr),
+        )
+        for existing in self.sites:
+            if (
+                existing.array == site.array
+                and existing.rw == site.rw
+                and existing.line == site.line
+                and existing.lockset == site.lockset
+                and existing.interval == site.interval
+                and existing.exclusive == site.exclusive
+                and existing.owner == site.owner
+            ):
+                return
+        self.sites.append(site)
+
+    def _self_attr(self, expr: ast.expr) -> str | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    def _shared_attr(self, expr: ast.expr) -> str | None:
+        attr = self._self_attr(expr)
+        return attr if attr in self.shared else None
+
+    def _lock_token(self, recv: ast.expr, fr: _Frame) -> str | None:
+        attr = self._self_attr(recv)
+        if attr in self.locks:
+            return attr
+        if isinstance(recv, ast.Subscript):
+            base = self._self_attr(recv.value)
+            if base in self.lock_collections:
+                return f"{base}[*]"
+        if isinstance(recv, ast.Name):
+            return fr.lockaliases.get(recv.id)
+        return None
+
+    # -- conflict detection ---------------------------------------------
+    def conflicts(self) -> tuple[list[Finding], list[Finding], list[Finding]]:
+        """(findings, relaxed-suppressed, unused-relaxed) for this class."""
+        findings: list[Finding] = []
+        suppressed: list[Finding] = []
+        fired_relaxed: set[str] = set()
+        by_array: dict[str, list[AccessSite]] = {}
+        for site in self.sites:
+            by_array.setdefault(site.array, []).append(site)
+        seen: set[str] = set()
+        for attr, sites in sorted(by_array.items()):
+            decl = self.shared[attr]
+            for i in range(len(sites)):
+                for j in range(i, len(sites)):
+                    s1, s2 = sites[i], sites[j]
+                    if not self._pair_conflicts(s1, s2, same_site=(i == j)):
+                        continue
+                    finding = self._race_finding(decl, s1, s2)
+                    if finding.detail in seen:
+                        continue
+                    seen.add(finding.detail)
+                    is_ww = s1.rw == "w" and s2.rw == "w"
+                    if decl.relaxed == "all" or (decl.relaxed == "read" and not is_ww):
+                        fired_relaxed.add(attr)
+                        suppressed.append(finding)
+                    else:
+                        findings.append(finding)
+        unused = [
+            Finding(
+                rule="unused-suppression",
+                path=self.path,
+                line=decl.line,
+                severity=SEV_WARNING,
+                message=(
+                    f"relaxed={decl.relaxed!r} on shared {decl.kind} "
+                    f"'{decl.label}' never suppresses a finding; remove the "
+                    f"label or it will hide future races"
+                ),
+                detail=f"unused-relaxed:{decl.label}",
+            )
+            for attr, decl in sorted(self.shared.items())
+            if decl.relaxed and attr not in fired_relaxed
+        ]
+        return findings, suppressed, unused
+
+    def _pair_conflicts(self, s1: AccessSite, s2: AccessSite, same_site: bool) -> bool:
+        if "w" not in (s1.rw, s2.rw):
+            return False
+        if s1.interval != s2.interval:
+            return False
+        if s1.lockset & s2.lockset:
+            return False
+        if s1.exclusive is not None and s1.exclusive == s2.exclusive:
+            return False  # both only run on the same single processor
+        if same_site:
+            # Two processors at one site: a pid-derived index (assumed
+            # injective partition) or a pid==k guard separates them.
+            return s1.owner is None and s1.exclusive is None
+        # Distinct sites: only an *identical* owner form separates them
+        # ("pid" vs "1 - pid" conflicts — that is the seeded race).
+        if s1.owner is not None and s1.owner == s2.owner:
+            return False
+        return True
+
+    def _race_finding(self, decl: SharedDecl, s1: AccessSite, s2: AccessSite) -> Finding:
+        a, b = sorted((s1, s2), key=lambda s: (s.line, s.rw))
+        part = lambda s: f"{s.rw}@{s.func}" + (f"[{s.owner}]" if s.owner else "")  # noqa: E731
+        detail = f"race:{decl.label}:{part(a)} vs {part(b)}"
+        kind = "write/write" if a.rw == "w" and b.rw == "w" else "read/write"
+        return Finding(
+            rule="lockset-race",
+            path=self.path,
+            line=a.line,
+            message=(
+                f"possible {kind} race on shared {decl.kind} '{decl.label}': "
+                f"{a.brief()} vs {b.brief()} — same barrier interval, "
+                f"no common lock"
+            ),
+            detail=detail,
+        )
+
+
+# ---------------------------------------------------------------------------
+# module / directory entry points
+
+
+def analyze_app_module(path: Path, rel_path: str | None = None) -> AppReport:
+    """Run Pass 1 over one app module file."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    rel = rel_path or str(path)
+    report = AppReport(path=rel)
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {n.name for n in node.body if isinstance(n, ast.FunctionDef)}
+        if not ({"setup", "worker"} <= methods):
+            continue
+        analyzer = _ClassAnalyzer(rel, node)
+        analyzer.run()
+        if not analyzer.shared and not analyzer.sites:
+            continue
+        report.classes.append(node.name)
+        report.decls.update(analyzer.shared)
+        report.sites.extend(analyzer.sites)
+        for func, summary in analyzer.summaries.items():
+            report.summaries[f"{node.name}.{func}"] = summary
+        findings, suppressed, unused = analyzer.conflicts()
+        report.findings.extend(findings)
+        report.suppressed.extend(suppressed)
+        report.unused.extend(unused)
+    return report
+
+
+def lint_apps(root: Path) -> tuple[LintReport, list[AppReport]]:
+    """Run Pass 1 over every module in ``src/repro/apps``."""
+    apps_dir = root / "src" / "repro" / "apps"
+    report = LintReport()
+    app_reports: list[AppReport] = []
+    for path in sorted(apps_dir.glob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        app = analyze_app_module(path, rel)
+        report.files_scanned += 1
+        if app.classes:
+            app_reports.append(app)
+        report.findings.extend(app.findings)
+        report.suppressed.extend(app.suppressed)
+        report.unused_suppressions.extend(app.unused)
+    return report, app_reports

@@ -1,0 +1,204 @@
+"""Findings, severities, pragma suppressions, and the lint baseline.
+
+Shared by both static passes (:mod:`.locksets` and
+:mod:`.determinism`).  The workflow mirrors large-scale linters:
+
+* every finding carries a **stable key** that does not include the
+  line number, so unrelated edits do not churn the baseline;
+* accepted findings live in a committed ``lint_baseline.json``; the
+  CLI exits nonzero only on findings whose key is *not* baselined;
+* baseline entries that no longer match any finding are reported as
+  stale, and inline ``# lint: ok[rule]`` pragmas (or module-wide
+  ``# lint: ok-module[rule]``) that never fire are reported as unused.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+SEV_INFO = "info"
+
+#: Default baseline filename, resolved against the repo root.
+BASELINE_FILE = "lint_baseline.json"
+BASELINE_SCHEMA = 1
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*ok(?P<mod>-module)?\[(?P<rule>[\w-]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding at a source location."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+    severity: str = SEV_ERROR
+    #: line-independent discriminator; defaults to the message.
+    detail: str = ""
+
+    def key(self) -> str:
+        """Stable baseline key (no line number: survives reflows)."""
+        return f"{self.path}::{self.rule}::{self.detail or self.message}"
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: {self.severity}[{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppression:
+    """An inline or module-wide pragma found in a source file."""
+
+    path: str
+    line: int  # line the pragma sits on (0 for module-wide scanning)
+    rule: str
+    module_wide: bool
+    used: bool = False
+
+
+def scan_pragmas(path: str, source: str) -> list[Suppression]:
+    """Collect ``# lint: ok[rule]`` / ``# lint: ok-module[rule]`` pragmas."""
+    out: list[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for m in _PRAGMA_RE.finditer(text):
+            out.append(
+                Suppression(
+                    path=path,
+                    line=lineno,
+                    rule=m.group("rule"),
+                    module_wide=bool(m.group("mod")),
+                )
+            )
+    return out
+
+
+class SuppressionIndex:
+    """Pragma lookup across all scanned files, with use tracking."""
+
+    def __init__(self) -> None:
+        self._all: list[Suppression] = []
+        self._by_line: dict[tuple[str, int, str], Suppression] = {}
+        self._by_module: dict[tuple[str, str], Suppression] = {}
+
+    def add_file(self, path: str, source: str) -> None:
+        for sup in scan_pragmas(path, source):
+            self._all.append(sup)
+            if sup.module_wide:
+                self._by_module.setdefault((sup.path, sup.rule), sup)
+            else:
+                self._by_line[(sup.path, sup.line, sup.rule)] = sup
+
+    def matches(self, finding: Finding) -> bool:
+        """True (and mark the pragma used) if ``finding`` is suppressed."""
+        sup = self._by_line.get((finding.path, finding.line, finding.rule))
+        if sup is not None:
+            sup.used = True
+            return True
+        mod = self._by_module.get((finding.path, finding.rule))
+        if mod is not None:
+            mod.used = True
+            return True
+        return False
+
+    def unused(self) -> list[Suppression]:
+        return [s for s in self._all if not s.used]
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one or both passes."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: would-be findings silenced by a ``relaxed=`` label or pragma.
+    suppressed: list[Finding] = field(default_factory=list)
+    #: suppressions that silenced nothing (unused labels / pragmas).
+    unused_suppressions: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def extend(self, other: LintReport) -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.unused_suppressions.extend(other.unused_suppressions)
+        self.files_scanned += other.files_scanned
+
+    def sort(self) -> None:
+        for lst in (self.findings, self.suppressed, self.unused_suppressions):
+            lst.sort(key=lambda f: (f.path, f.line, f.rule, f.detail or f.message))
+
+    def new_against(self, baseline_keys: set[str]) -> list[Finding]:
+        """Findings not covered by the baseline (the failing set)."""
+        return [f for f in self.findings if f.key() not in baseline_keys]
+
+    def stale_baseline(self, baseline_keys: set[str]) -> list[str]:
+        """Baseline keys that matched no finding (fixed or renamed)."""
+        live = {f.key() for f in self.findings}
+        return sorted(baseline_keys - live)
+
+    def to_doc(self) -> dict[str, Any]:
+        def rows(findings: list[Finding]) -> list[dict[str, Any]]:
+            return [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "severity": f.severity,
+                    "message": f.message,
+                    "key": f.key(),
+                }
+                for f in findings
+            ]
+
+        return {
+            "schema": BASELINE_SCHEMA,
+            "files_scanned": self.files_scanned,
+            "findings": rows(self.findings),
+            "suppressed": rows(self.suppressed),
+            "unused_suppressions": rows(self.unused_suppressions),
+        }
+
+
+def load_baseline(path: str | Path) -> dict[str, dict[str, Any]]:
+    """key -> entry for every accepted finding in the baseline file."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported baseline schema {doc.get('schema')!r} "
+            f"(expected {BASELINE_SCHEMA})"
+        )
+    return {entry["key"]: entry for entry in doc.get("findings", [])}
+
+
+def write_baseline(
+    path: str | Path, report: LintReport, notes: dict[str, str] | None = None
+) -> Path:
+    """Accept the report's current findings as the new baseline."""
+    notes = notes or {}
+    entries = []
+    seen: set[str] = set()
+    for f in sorted(report.findings, key=lambda f: f.key()):
+        key = f.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "key": key,
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "note": notes.get(key, ""),
+            }
+        )
+    doc = {"schema": BASELINE_SCHEMA, "findings": entries}
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path

@@ -14,6 +14,8 @@ have a recorded perf baseline to compare against.  The serial and
 parallel phases must produce bit-identical results (simulations are
 deterministic); the bench asserts this and records it.
 """
+# lint: ok-module[wall-clock] — measurement harness: wall-clock here times the
+# host, never the simulation; simulated timing comes only from cycle counts.
 
 from __future__ import annotations
 

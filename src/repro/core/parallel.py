@@ -23,6 +23,8 @@ other.  This module exploits that structure:
 See docs/performance.md for the architecture and cache-invalidation
 rules, and ``repro.core.bench`` for the measured speedups.
 """
+# lint: ok-module[wall-clock] — measurement harness: wall-clock here times the
+# host, never the simulation; simulated timing comes only from cycle counts.
 
 from __future__ import annotations
 

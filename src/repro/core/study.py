@@ -5,6 +5,8 @@ memory systems, verifies every run against the application's reference,
 and decomposes each system's execution time into the paper's overhead
 categories relative to the z-machine ideal.
 """
+# lint: ok-module[wall-clock] — measurement harness: wall-clock here times the
+# host, never the simulation; simulated timing comes only from cycle counts.
 
 from __future__ import annotations
 

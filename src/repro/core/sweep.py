@@ -5,6 +5,8 @@ fresh application instance per point, and returns an ordered series of
 results — the workhorse of the paper's Section 6 "architectural
 implications" experiments.
 """
+# lint: ok-module[wall-clock] — measurement harness: wall-clock here times the
+# host, never the simulation; simulated timing comes only from cycle counts.
 
 from __future__ import annotations
 

@@ -6,6 +6,8 @@ fraction of execution time the propagation of those writes represents
 computation), and the observed cost — the read-stall cycles actually
 seen, which are ≈0 because the inherent communication is overlapped.
 """
+# lint: ok-module[wall-clock] — measurement harness: wall-clock here times the
+# host, never the simulation; simulated timing comes only from cycle counts.
 
 from __future__ import annotations
 

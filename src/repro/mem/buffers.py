@@ -19,7 +19,7 @@ from collections import deque
 from collections.abc import Callable
 
 
-class StoreBuffer:
+class StoreBuffer:  # lint: hot
     """Fixed-depth write buffer with serial retirement.
 
     Entries retire one at a time (one outstanding coherence transaction),
@@ -27,6 +27,11 @@ class StoreBuffer:
     the base hardware.  ``service`` maps a transaction start time to its
     completion time.
     """
+
+    __slots__ = (
+        "capacity", "_pending", "_last_retire", "_pending_blocks",
+        "total_entries", "full_stalls", "peak_depth",
+    )
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -114,7 +119,7 @@ class StoreBuffer:
         return self._last_retire
 
 
-class MergeEntry:
+class MergeEntry:  # lint: hot
     """An open merge-buffer line: which words of a block are dirty."""
 
     __slots__ = ("block", "words", "opened_at")
@@ -129,7 +134,7 @@ class MergeEntry:
         return len(self.words)
 
 
-class MergeBuffer:
+class MergeBuffer:  # lint: hot
     """Coalesces writes to the same line before they hit the network.
 
     Holds up to ``capacity_lines`` open lines (paper default: one cache
@@ -137,6 +142,8 @@ class MergeBuffer:
     line when full evicts the oldest open line, which must then be pushed
     into the store buffer as an update transaction.
     """
+
+    __slots__ = ("capacity", "_open", "merged_writes", "evictions", "peak_depth")
 
     def __init__(self, capacity_lines: int = 1):
         if capacity_lines < 1:

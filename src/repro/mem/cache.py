@@ -22,7 +22,7 @@ OWNED = 2
 _STATE_NAMES = {SHARED: "SHARED", OWNED: "OWNED"}
 
 
-class CacheLine:
+class CacheLine:  # lint: hot
     """One cached block.
 
     ``inval_at`` — absolute time at which a pending invalidation arrives
@@ -48,7 +48,7 @@ class CacheLine:
         )
 
 
-class Cache:
+class Cache:  # lint: hot
     """A single processor's cache: block -> CacheLine, optional LRU bound."""
 
     __slots__ = ("capacity", "_lines", "evictions")

@@ -14,7 +14,7 @@ NORMAL = 0
 SPECIAL = 1
 
 
-class DirEntry:
+class DirEntry:  # lint: hot
     """Directory state for one memory block."""
 
     __slots__ = ("sharers", "owner", "mode", "avail_time", "last_writer", "write_count")
@@ -68,7 +68,7 @@ class DirEntry:
         )
 
 
-class Directory:
+class Directory:  # lint: hot
     """block -> DirEntry map, created on demand."""
 
     __slots__ = ("_entries",)

@@ -28,14 +28,19 @@ class Topology:
     def hops(self, src: int, dst: int) -> int:
         return len(self.route(src, dst))
 
-    def links(self) -> set[Link]:
-        """All directed links in the topology."""
+    def links(self) -> tuple[Link, ...]:
+        """All directed links in the topology, in sorted order.
+
+        Sorted so callers can iterate without introducing set-order
+        nondeterminism into per-link state (degradation draws, sharded
+        routing tables).
+        """
         out: set[Link] = set()
         for s in range(self.nnodes):
             for d in range(self.nnodes):
                 if s != d:
                     out.update(self.route(s, d))
-        return out
+        return tuple(sorted(out))
 
     def _check(self, src: int, dst: int) -> None:
         if not (0 <= src < self.nnodes and 0 <= dst < self.nnodes):

@@ -22,13 +22,27 @@ import json
 from pathlib import Path
 from typing import Any
 
+from ..analysis.naming import sync_label
+
 #: tid offset for the per-processor phase lanes.
 PHASE_LANE = 1000
 
+_SyncNames = dict[tuple[str, int], str]
 
-def _slice_name(e) -> str:
+
+def _sync_name(names: _SyncNames | None, kind: str, sync_id: int | None) -> str:
+    if names is None or sync_id is None:
+        return ""
+    if kind.startswith("flag"):
+        kind = "flag"
+    return names.get((kind, sync_id), "")
+
+
+def _slice_name(e, names: _SyncNames | None = None) -> str:
     if e.sync_kind is not None:
-        return f"{e.sync_kind}:{e.sync_id}" if e.sync_id is not None else e.sync_kind
+        if e.sync_id is None:
+            return e.sync_kind
+        return sync_label(e.sync_kind, _sync_name(names, e.sync_kind, e.sync_id), e.sync_id)
     if e.kind in ("read", "write"):
         return f"{e.kind} {'hit' if e.hit else 'miss'}"
     return e.kind
@@ -40,11 +54,15 @@ def to_perfetto(
     total_time: float | None = None,
     app: str = "",
     system: str = "",
+    sync_names: _SyncNames | None = None,
 ) -> dict[str, Any]:
     """Build a trace-event JSON document from trace events.
 
     ``events`` is a :class:`~repro.sim.trace.TracingMemory` or any
-    iterable of :class:`~repro.sim.trace.TraceEvent`.
+    iterable of :class:`~repro.sim.trace.TraceEvent`.  ``sync_names``
+    (from :meth:`SyncManager.sync_names`) labels sync slices and flow
+    events with their declaration names, matching the spelling used by
+    the static analyzer's reports.
     """
     events = list(getattr(events, "events", events))
     if total_time is None:
@@ -84,7 +102,7 @@ def to_perfetto(
             continue
         entry: dict[str, Any] = {
             "ph": "X", "pid": 0, "tid": e.proc, "cat": "sim",
-            "name": _slice_name(e),
+            "name": _slice_name(e, sync_names),
             "ts": e.issue, "dur": e.complete - e.issue,
         }
         args: dict[str, Any] = {}
@@ -121,11 +139,12 @@ def to_perfetto(
             continue
         arrivals.sort(key=lambda e: e.issue)
         flow_id = f"barrier{bar_id}.e{episode}"
+        bar_name = sync_label("barrier", _sync_name(sync_names, "barrier", bar_id), bar_id)
         for i, e in enumerate(arrivals):
             ph = "s" if i == 0 else ("f" if i == len(arrivals) - 1 else "t")
             entry = {
                 "ph": ph, "pid": 0, "tid": e.proc, "cat": "flow",
-                "name": f"barrier:{bar_id}", "id": flow_id, "ts": e.issue,
+                "name": bar_name, "id": flow_id, "ts": e.issue,
             }
             if ph == "f":
                 entry["bp"] = "e"
@@ -138,6 +157,7 @@ def to_perfetto(
             locks.setdefault(e.sync_id, []).append(e)
     for lock_id, ops in locks.items():
         ops.sort(key=lambda e: e.issue)
+        lock_name = sync_label("lock", _sync_name(sync_names, "lock", lock_id), lock_id)
         handoff = 0
         pending = None  # last unmatched release
         for e in ops:
@@ -148,11 +168,11 @@ def to_perfetto(
                 handoff += 1
                 body.append(
                     {"ph": "s", "pid": 0, "tid": pending.proc, "cat": "flow",
-                     "name": f"lock:{lock_id}", "id": flow_id, "ts": pending.issue}
+                     "name": lock_name, "id": flow_id, "ts": pending.issue}
                 )
                 body.append(
                     {"ph": "f", "bp": "e", "pid": 0, "tid": e.proc, "cat": "flow",
-                     "name": f"lock:{lock_id}", "id": flow_id, "ts": e.issue}
+                     "name": lock_name, "id": flow_id, "ts": e.issue}
                 )
                 pending = None
 

@@ -56,13 +56,15 @@ class DataChannel:
             machine.shm.array(nwords, f"{name}.slot{k}", align_line=True, pad_to_line=True)
             for k in range(depth)
         ]
-        self.flag_id = machine.sync.new_flag()
+        self.flag_id = machine.sync.new_flag(f"{name}.epoch")
         #: One acknowledgement flag per consumer.  A single shared
         #: counter is not enough for flow control: "total acks >= epoch
         #: * consumers" can be satisfied by fast consumers acking later
         #: epochs while a slow consumer has not acked the epoch being
         #: overwritten, letting the producer tear a payload mid-read.
-        self.ack_flag_ids = [machine.sync.new_flag() for _ in range(consumers)]
+        self.ack_flag_ids = [
+            machine.sync.new_flag(f"{name}.ack{k}") for k in range(consumers)
+        ]
         self._next_reader = 0
         memsys = machine.memsys
         self.slot_blocks: list[tuple[int, ...]] = []

@@ -20,7 +20,7 @@ class Lock:
 
     def __init__(self, manager: SyncManager, name: str = ""):
         self.manager = manager
-        self.lock_id = manager.new_lock()
+        self.lock_id = manager.new_lock(name)
         self.name = name
 
     def acquire(self) -> Generator[Op, None, None]:
@@ -37,7 +37,7 @@ class Barrier:
 
     def __init__(self, manager: SyncManager, participants: int | None = None, name: str = ""):
         self.manager = manager
-        self.barrier_id = manager.new_barrier(participants)
+        self.barrier_id = manager.new_barrier(participants, name)
         self.name = name
 
     def wait(self) -> Generator[Op, None, None]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..analysis.naming import sync_label
 from ..config import MachineConfig
 from ..network.base import Network
 
@@ -22,10 +23,11 @@ SYNC_HANDLING_CYCLES = 4.0
 
 
 class _LockState:
-    __slots__ = ("home", "holder", "queue", "grants")
+    __slots__ = ("home", "holder", "queue", "grants", "name")
 
-    def __init__(self, home: int):
+    def __init__(self, home: int, name: str = ""):
         self.home = home
+        self.name = name
         self.holder: int | None = None
         self.queue: deque[tuple[int, float]] = deque()
         #: Completed grant count (the lock's "episode" for tracing).
@@ -33,10 +35,11 @@ class _LockState:
 
 
 class _BarrierState:
-    __slots__ = ("home", "participants", "waiting", "episodes")
+    __slots__ = ("home", "participants", "waiting", "episodes", "name")
 
-    def __init__(self, home: int, participants: int):
+    def __init__(self, home: int, participants: int, name: str = ""):
         self.home = home
+        self.name = name
         self.participants = participants
         self.waiting: list[tuple[int, float]] = []
         self.episodes = 0
@@ -45,10 +48,11 @@ class _BarrierState:
 class _FlagState:
     """Event flag with epochs (paper Section 6 data-flow decoupling)."""
 
-    __slots__ = ("home", "epoch", "ready_time", "waiters")
+    __slots__ = ("home", "epoch", "ready_time", "waiters", "name")
 
-    def __init__(self, home: int):
+    def __init__(self, home: int, name: str = ""):
         self.home = home
+        self.name = name
         self.epoch = 0
         #: time by which the data published with the latest epochs is
         #: fetchable (max over sets of their data-ready times)
@@ -78,29 +82,57 @@ class SyncManager:
     # ------------------------------------------------------------------
     # object creation
     # ------------------------------------------------------------------
-    def new_lock(self) -> int:
+    def new_lock(self, name: str = "") -> int:
         lock_id = len(self._locks)
-        self._locks.append(_LockState(home=lock_id % self.config.nprocs))
+        self._locks.append(_LockState(home=lock_id % self.config.nprocs, name=name))
         return lock_id
 
-    def new_barrier(self, participants: int | None = None) -> int:
+    def new_barrier(self, participants: int | None = None, name: str = "") -> int:
         n = participants if participants is not None else self.config.nprocs
         if n < 1:
             raise ValueError("barrier needs at least one participant")
         barrier_id = len(self._barriers)
         self._barriers.append(
-            _BarrierState(home=barrier_id % self.config.nprocs, participants=n)
+            _BarrierState(home=barrier_id % self.config.nprocs, participants=n, name=name)
         )
         return barrier_id
 
-    def new_flag(self) -> int:
+    def new_flag(self, name: str = "") -> int:
         flag_id = len(self._flags)
-        self._flags.append(_FlagState(home=flag_id % self.config.nprocs))
+        self._flags.append(_FlagState(home=flag_id % self.config.nprocs, name=name))
         return flag_id
 
     @property
     def num_locks(self) -> int:
         return len(self._locks)
+
+    def sync_name(self, kind: str, sync_id: int) -> str:
+        """Declaration name of a sync object ("" if anonymous).
+
+        ``kind`` is ``lock``/``barrier``/``flag`` (trace kinds like
+        ``flag_set`` are normalised).
+        """
+        if kind.startswith("flag"):
+            return self._flags[sync_id].name
+        if kind == "lock":
+            return self._locks[sync_id].name
+        if kind == "barrier":
+            return self._barriers[sync_id].name
+        raise ValueError(f"unknown sync kind {kind!r}")
+
+    def sync_names(self) -> dict[tuple[str, int], str]:
+        """(kind, id) -> name for every named sync object (reporting)."""
+        out: dict[tuple[str, int], str] = {}
+        for i, lock in enumerate(self._locks):
+            if lock.name:
+                out[("lock", i)] = lock.name
+        for i, bar in enumerate(self._barriers):
+            if bar.name:
+                out[("barrier", i)] = bar.name
+        for i, flag in enumerate(self._flags):
+            if flag.name:
+                out[("flag", i)] = flag.name
+        return out
 
     # ------------------------------------------------------------------
     # flag protocol (data-flow decoupled synchronisation, paper §6)
@@ -176,8 +208,9 @@ class SyncManager:
         """
         lock = self._locks[lock_id]
         if lock.holder != proc:
+            label = sync_label("lock", lock.name, lock_id)
             raise RuntimeError(
-                f"processor {proc} released lock {lock_id} held by {lock.holder}"
+                f"processor {proc} released {label} held by {lock.holder}"
             )
         net = self.network
         arrive = net.transfer(proc, lock.home, self.config.sync_bytes, now)

@@ -10,13 +10,13 @@ Python analogue of SPASM's trap-on-every-shared-access instrumentation.
 from __future__ import annotations
 
 
-class Op:
+class Op:  # lint: hot
     """Base class for all simulator operations."""
 
     __slots__ = ()
 
 
-class Compute(Op):
+class Compute(Op):  # lint: hot
     """Charge ``cycles`` of busy computation time to the issuing thread."""
 
     __slots__ = ("cycles",)
@@ -30,7 +30,7 @@ class Compute(Op):
         return f"Compute({self.cycles})"
 
 
-class Read(Op):
+class Read(Op):  # lint: hot
     """Shared-memory read of the word at byte address ``addr``."""
 
     __slots__ = ("addr",)
@@ -42,7 +42,7 @@ class Read(Op):
         return f"Read(0x{self.addr:x})"
 
 
-class Write(Op):
+class Write(Op):  # lint: hot
     """Shared-memory write of the word at byte address ``addr``."""
 
     __slots__ = ("addr",)

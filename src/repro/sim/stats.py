@@ -153,7 +153,7 @@ class SyncPoint:
     episode: int = 0
 
 
-class AccessResult:
+class AccessResult:  # lint: hot
     """Outcome of a single memory-system access.
 
     ``time`` is the absolute completion time; the stall fields say how the

@@ -20,7 +20,7 @@ from .stats import AccessResult, SyncPoint
 
 
 @dataclass(slots=True)
-class TraceEvent:
+class TraceEvent:  # lint: hot
     """One traced memory-system operation.
 
     For synchronisation operations the ``sync_*`` fields identify the

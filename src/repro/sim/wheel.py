@@ -39,7 +39,7 @@ from heapq import heappop, heappush, heappushpop
 _INF = float("inf")
 
 
-class EventWheel:
+class EventWheel:  # lint: hot
     """Calendar queue over ``(time, seq, tid)`` entries, exact heap order.
 
     ``width`` is the epoch width in simulated cycles.  Any positive width
@@ -127,7 +127,7 @@ class EventWheel:
         Cancelled entries are silently discarded as they surface.
         """
         cancelled = self._cancelled
-        while True:
+        while True:  # lint: fastpath
             bucket = self._cur_bucket
             if bucket:
                 entry = heappop(bucket)
@@ -159,7 +159,7 @@ class EventWheel:
         :meth:`peek_time` applies to ``next_time``.
         """
         cancelled = self._cancelled
-        while True:
+        while True:  # lint: fastpath
             bucket = self._cur_bucket
             if bucket:
                 entry = heappop(bucket)

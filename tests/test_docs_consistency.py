@@ -131,6 +131,8 @@ def test_every_scenario_knob_documented(name):
 
 #: module paths the prose docs rely on (drift guard for renames).
 DOCUMENTED_MODULES = [
+    "repro.analysis.naming",
+    "repro.analysis.static",
     "repro.apps.costs",
     "repro.core.bench",
     "repro.core.parallel",
