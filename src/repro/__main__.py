@@ -9,9 +9,19 @@ fig1     print the Figure 1 inherent-cost-vs-overhead scenario
 claims   evaluate the paper's qualitative claims on fresh runs
 trace    run one application with the tracer attached and export a
          Perfetto/Chrome trace (and optionally interval metrics)
+profile  run one application under the host self-profiler and print the
+         per-component wall-time attribution (wheel / app / mem /
+         network / tracer / sync / observer / dispatch), optionally as
+         a Perfetto flame view
 bench    time serial vs parallel vs cached execution of the full study
          set and write a BENCH_parallel.json perf baseline (with
-         ``--trace``: measure observability overhead → BENCH_trace.json)
+         ``--trace``: measure observability overhead → BENCH_trace.json;
+         with ``--profile``: measure self-profiler overhead →
+         BENCH_profile.json)
+perf     bench-history ledger: ``perf record`` appends BENCH_*.json
+         snapshots into benchmarks/history.jsonl keyed by commit and
+         host; ``perf report`` prints deltas and trends against the
+         committed baselines and flags regressions
 check    run the correctness analyses (happens-before race detection +
          protocol invariant checking) over an apps × systems matrix;
          exits nonzero on any finding
@@ -22,12 +32,15 @@ systems  list available memory systems and applications
 cache    show or clear the on-disk result cache
 
 ``study``, ``table1``, ``fig1`` and ``claims`` accept ``--jobs N`` to
-fan independent runs out over N worker processes (0 = one per CPU) and
-``--no-cache`` to bypass the on-disk result cache; see
-docs/performance.md.  ``study``, ``table1``, ``claims`` and ``trace``
-accept ``--manifest PATH`` to record a structured run manifest; the
-global ``--verbose``/``--quiet``/``--json`` flags control diagnostics
-(see docs/observability.md).
+fan independent runs out over N worker processes (0 = one per CPU),
+``--no-cache`` to bypass the on-disk result cache and
+``--telemetry-out PATH`` to persist per-job heartbeat records as
+replayable JSONL; see docs/performance.md.  Multi-job runs render live
+per-job progress (with ETA) on the diagnostic channel unless
+``--quiet``.  ``study``, ``table1``, ``claims`` and ``trace`` accept
+``--manifest PATH`` to record a structured run manifest; the global
+``--verbose``/``--quiet``/``--json`` flags control diagnostics and
+propagate into pool workers (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -50,23 +63,29 @@ from .analysis.checkers import (
 from .analysis.report import studies_to_csv, studies_to_json, table1_to_csv
 from .apps import SCALES, default_scale, preset
 from .apps.factory import AppFactory
+from .core import perf
 from .core.bench import (
     BENCH_FILE,
     ENGINE_BENCH_FILE,
+    PROFILE_BENCH_FILE,
     TRACE_BENCH_FILE,
     check_engine_regression,
     format_bench,
     format_engine_bench,
+    format_profile_bench,
     format_trace_bench,
     run_bench,
     run_engine_bench,
+    run_profile_bench,
     run_trace_bench,
 )
 from .core.parallel import ResultCache, parallel_map
 from .core.table1 import table1_with_manifest
 from .mem.systems import PAPER_SYSTEMS, SYSTEM_REGISTRY
 from .obs import MetricsCollector, configure, get_logger, to_perfetto, write_trace
+from .obs import telemetry
 from .obs.manifest import build_manifest, write_manifest
+from .obs.profile import HostProfiler
 from .runtime.context import Machine
 from .scenarios import (
     SCENARIO_BENCH_FILE,
@@ -242,14 +261,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
     if tracer.dropped:
         log.warn(f"{tracer.dropped} trace event(s) dropped; raise --max-events")
+    metrics = collector.to_dict() if collector is not None else None
     doc = to_perfetto(
         tracer, cfg.nprocs, total_time=result.total_time, app=name,
         system=args.system, sync_names=machine.sync.sync_names(),
+        metrics=metrics,
     )
     write_trace(args.out, doc)
     log.out(f"trace written to {args.out} ({len(doc['traceEvents'])} events)")
-    if collector is not None:
-        metrics = collector.to_dict()
+    if metrics is not None:
         Path(args.metrics).write_text(json.dumps(metrics, indent=2) + "\n")
         log.out(f"metrics written to {args.metrics} ({len(metrics['buckets'])} buckets)")
     if args.manifest:
@@ -267,6 +287,42 @@ def cmd_trace(args: argparse.Namespace) -> int:
             },
         )
         _emit_manifest(args.manifest, [manifest], "trace")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    log = get_logger()
+    cfg = _config(args)
+    if args.system not in SYSTEM_REGISTRY:
+        raise SystemExit(
+            f"unknown memory system {args.system!r}; choose from "
+            f"{', '.join(sorted(SYSTEM_REGISTRY))}"
+        )
+    name, factory = _resolve_trace_app(args.app)
+    if args.scale != "default":
+        scale_apps = preset(args.scale)
+        if name in scale_apps:
+            factory = scale_apps[name][0]
+    app = factory()
+    machine = Machine(cfg, args.system)
+    app.setup(machine)
+    # Attach last so any tracer/metrics decorators are already in place
+    # and their overhead lands in the ``tracer`` component.
+    prof = HostProfiler.attach(machine)
+    result = machine.run(app.worker)
+    log.info(
+        f"{name} on {args.system}: {result.ops} ops, "
+        f"{result.total_time:.0f} simulated cycles"
+    )
+    log.out(prof.table())
+    if args.out:
+        doc = prof.to_dict()
+        doc.update({"app": name, "system": args.system, "nprocs": cfg.nprocs})
+        Path(args.out).write_text(json.dumps(doc, indent=2) + "\n")
+        log.out(f"attribution written to {args.out}")
+    if args.flame:
+        write_trace(args.flame, prof.to_perfetto())
+        log.out(f"flame view written to {args.flame}")
     return 0
 
 
@@ -297,6 +353,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         out = args.out if args.out != BENCH_FILE else TRACE_BENCH_FILE
         doc = run_trace_bench(scale=args.scale, out=out)
         log.out(format_trace_bench(doc))
+        log.out(f"trajectory written to {out}")
+        return 0
+    if args.profile:
+        out = args.out if args.out != BENCH_FILE else PROFILE_BENCH_FILE
+        doc = run_profile_bench(scale=args.scale, nprocs=args.nprocs, out=out)
+        log.out(format_profile_bench(doc))
         log.out(f"trajectory written to {out}")
         return 0
     doc = run_bench(scale=args.scale, jobs=args.jobs or None, out=args.out)
@@ -479,6 +541,41 @@ def cmd_scenario_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf_record(args: argparse.Namespace) -> int:
+    log = get_logger()
+    paths = args.paths or sorted(str(p) for p in Path(".").glob(perf.BENCH_GLOB))
+    if not paths:
+        log.out(f"no bench snapshots matched {perf.BENCH_GLOB}; nothing to record")
+        return 0
+    appended = perf.record(paths, history=args.history, commit=args.commit)
+    log.out(
+        f"recorded {len(appended)} entr{'y' if len(appended) == 1 else 'ies'} "
+        f"into {args.history} (from {len(paths)} snapshot(s))"
+    )
+    for entry in appended:
+        log.debug(
+            f"  {entry['bench']}/{entry['scale']}: {entry['metric']}={entry['value']}"
+        )
+    return 0
+
+
+def cmd_perf_report(args: argparse.Namespace) -> int:
+    log = get_logger()
+    entries = perf.load_history(args.history)
+    if not entries:
+        log.out(f"no ledger at {args.history}; run 'repro perf record' first")
+        return 1 if args.strict else 0
+    baselines = perf.collect_baselines(args.baseline_dir)
+    report = perf.build_report(entries, baselines, tolerance=args.tolerance)
+    if args.format == "json":
+        log.out(json.dumps(report, indent=2))
+    else:
+        log.out(perf.format_report(report))
+    if report["regressions"] and args.strict:
+        return 1
+    return 0
+
+
 def cmd_systems(args: argparse.Namespace) -> int:
     log = get_logger()
     log.out(f"memory systems: {', '.join(sorted(SYSTEM_REGISTRY))}")
@@ -492,10 +589,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
     if args.clear:
         log.out(f"removed {cache.clear()} cached result(s) from {cache.directory}")
         return 0
-    entries = list(cache.directory.glob("*.pkl")) if cache.directory.is_dir() else []
-    size = sum(p.stat().st_size for p in entries)
+    entries, size = cache.size()
+    stats = cache.lifetime_stats()
+    total = stats["hits"] + stats["misses"]
     log.out(f"cache directory: {cache.directory}")
-    log.out(f"entries: {len(entries)} ({size / 1024:.1f} KiB)")
+    log.out(f"entries: {entries} ({size / 1024:.1f} KiB)")
+    if total:
+        log.out(
+            f"lifetime: {stats['hits']} hit(s), {stats['misses']} miss(es) "
+            f"({100.0 * stats['hits'] / total:.0f}% hit rate)"
+        )
+    else:
+        log.out("lifetime: no recorded lookups yet")
     return 0
 
 
@@ -517,6 +622,13 @@ def _add_parallel_flags(sub: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache",
+    )
+    sub.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="write per-job heartbeat records (start/finish, events/sec, "
+        "cache hits, ETA) as replayable JSONL to PATH",
     )
 
 
@@ -608,6 +720,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_manifest_flag(p_trace)
     p_trace.set_defaults(func=cmd_trace)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="self-profile one run: host wall-time attribution per simulator component",
+    )
+    p_prof.add_argument("app", help="application name or alias (e.g. intsort, cholesky)")
+    p_prof.add_argument("system", help="memory system (e.g. RCinv, z-mc)")
+    p_prof.add_argument(
+        "--scale", choices=SCALES, default="default", help="workload preset"
+    )
+    p_prof.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the attribution document as JSON to PATH",
+    )
+    p_prof.add_argument(
+        "--flame",
+        default=None,
+        metavar="PATH",
+        help="also write a Perfetto flame view of the attribution to PATH",
+    )
+    p_prof.set_defaults(func=cmd_profile)
+
     p_bench = sub.add_parser(
         "bench", help="serial vs parallel vs cached timing of the full study set"
     )
@@ -626,6 +761,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure raw engine throughput (simulated events/sec) instead "
         f"(writes {ENGINE_BENCH_FILE})",
+    )
+    p_bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="measure self-profiler overhead instead: interleaved plain vs "
+        f"profiled study matrix (writes {PROFILE_BENCH_FILE})",
     )
     p_bench.add_argument(
         "--quick",
@@ -763,6 +904,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.set_defaults(func=cmd_lint)
 
+    p_perf = sub.add_parser(
+        "perf",
+        help="bench-history ledger: record BENCH snapshots, report trends/regressions",
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_command", required=True)
+
+    p_perf_rec = perf_sub.add_parser(
+        "record", help=f"append bench snapshots to the ledger ({perf.HISTORY_FILE})"
+    )
+    p_perf_rec.add_argument(
+        "paths",
+        nargs="*",
+        help=f"bench snapshot files (default: every {perf.BENCH_GLOB} in the cwd)",
+    )
+    p_perf_rec.add_argument(
+        "--history",
+        default=perf.HISTORY_FILE,
+        metavar="PATH",
+        help=f"ledger file (default {perf.HISTORY_FILE})",
+    )
+    p_perf_rec.add_argument(
+        "--commit",
+        default=None,
+        metavar="SHA",
+        help="commit to record entries under (default: detected via git)",
+    )
+    p_perf_rec.set_defaults(func=cmd_perf_record)
+
+    p_perf_rep = perf_sub.add_parser(
+        "report", help="print per-series deltas and trends vs the committed baselines"
+    )
+    p_perf_rep.add_argument(
+        "--history",
+        default=perf.HISTORY_FILE,
+        metavar="PATH",
+        help=f"ledger file (default {perf.HISTORY_FILE})",
+    )
+    p_perf_rep.add_argument(
+        "--baseline-dir",
+        default=".",
+        metavar="DIR",
+        help="directory holding the committed BENCH_*.json baselines (default .)",
+    )
+    p_perf_rep.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="relative movement in the bad direction that counts as a "
+        "regression (default 0.2)",
+    )
+    p_perf_rep.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any flagged regression (or a missing ledger)",
+    )
+    p_perf_rep.add_argument("--format", choices=("text", "json"), default="text")
+    p_perf_rep.set_defaults(func=cmd_perf_report)
+
     p_sys = sub.add_parser("systems", help="list systems and applications")
     p_sys.set_defaults(func=cmd_systems)
 
@@ -775,6 +974,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure(verbose=args.verbose, quiet=args.quiet, json_mode=args.json)
+    # Commands with parallel flags stream per-job heartbeats through a
+    # process-wide telemetry session: live progress lines on the
+    # diagnostic channel plus the optional --telemetry-out JSONL sink.
+    if hasattr(args, "telemetry_out"):
+        with telemetry.session(out=args.telemetry_out, render=not args.quiet):
+            return args.func(args)
     return args.func(args)
 
 

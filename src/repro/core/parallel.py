@@ -29,6 +29,7 @@ rules, and ``repro.core.bench`` for the measured speedups.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -43,6 +44,8 @@ from ..apps.base import Application, run_machine
 from ..apps.factory import AppFactory
 from ..config import MachineConfig
 from ..mem.systems.zmachine import ZMachine
+from ..obs import telemetry
+from ..obs.log import configure as _configure_logger, get_logger
 from ..sim.stats import SimResult
 
 #: Environment variable overriding the default on-disk cache location.
@@ -179,6 +182,9 @@ class ResultCache:
     that :meth:`clear` removes.
     """
 
+    #: File inside the cache directory accumulating lifetime counters.
+    STATS_FILE = "stats.json"
+
     def __init__(self, directory: str | os.PathLike):
         self.directory = Path(directory).expanduser()
         self.hits = 0
@@ -241,6 +247,53 @@ class ResultCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def size(self) -> tuple[int, int]:
+        """(number of entries, total bytes) on disk."""
+        entries = 0
+        total_bytes = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    total_bytes += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return entries, total_bytes
+
+    def _stats_path(self) -> Path:
+        return self.directory / self.STATS_FILE
+
+    def lifetime_stats(self) -> dict:
+        """Accumulated hit/miss counters across every recorded session."""
+        try:
+            with open(self._stats_path()) as fh:
+                doc = json.load(fh)
+            return {"hits": int(doc.get("hits", 0)), "misses": int(doc.get("misses", 0))}
+        except (OSError, ValueError):
+            return {"hits": 0, "misses": 0}
+
+    def persist_stats(self, hits: int, misses: int) -> None:
+        """Fold a batch's hit/miss delta into the on-disk totals.
+
+        Called by :func:`run_jobs` with the counters this batch added
+        (session counters themselves stay untouched — manifests read
+        them after the run).  Best-effort: a read-only cache directory
+        must never fail a run.
+        """
+        if hits == 0 and misses == 0:
+            return
+        totals = self.lifetime_stats()
+        totals["hits"] += hits
+        totals["misses"] += misses
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump(totals, fh)
+            os.replace(tmp, self._stats_path())
+        except OSError:
+            pass
+
 
 # ---------------------------------------------------------------------------
 # fan-out
@@ -264,6 +317,71 @@ def _poolable(specs: Sequence[JobSpec]) -> bool:
         return False
 
 
+#: Worker-process telemetry queue, installed by :func:`_pool_init`.
+_WORKER_QUEUE = None
+
+
+def _pool_init(logger_state: dict, queue) -> None:
+    """Pool-worker initializer: mirror the parent's logger configuration
+    (so ``--verbose/--quiet/--json`` hold in children too) and install
+    the telemetry queue heartbeats are sent over."""
+    global _WORKER_QUEUE
+    _configure_logger(**logger_state)
+    _WORKER_QUEUE = queue
+
+
+def _spec_label(spec) -> tuple[str, str]:
+    """(app, system) display names for a spec's heartbeat records."""
+    factory = getattr(spec, "factory", None)
+    app = (
+        getattr(factory, "app", None)  # AppFactory("IS", ...)
+        or getattr(factory, "name", None)
+        or getattr(factory, "__name__", factory.__class__.__name__ if factory else "?")
+    )
+    return str(app), str(getattr(spec, "system", "?"))
+
+
+def _emit_start(sink, index: int, spec) -> None:
+    if sink is not None:
+        app, system = _spec_label(spec)
+        sink.put(telemetry.job_started(index, app, system))
+
+
+def _emit_finish(sink, index: int, spec, job) -> None:
+    if sink is not None:
+        app, system = _spec_label(spec)
+        result = getattr(job, "result", None)
+        sink.put(
+            telemetry.job_finished(
+                index,
+                app,
+                system,
+                events=getattr(result, "ops", 0) or 0,
+                elapsed_s=getattr(job, "elapsed", 0.0),
+                cached=bool(getattr(job, "cached", False)),
+            )
+        )
+
+
+class _SessionSink:
+    """Adapter giving the in-process path the queue ``put`` interface."""
+
+    def __init__(self, session):
+        self._session = session
+
+    def put(self, record) -> None:
+        self._session.emit(record)
+
+
+def _pool_run(item):
+    """Worker-side wrapper: heartbeats around one executor call."""
+    executor, index, spec = item
+    _emit_start(_WORKER_QUEUE, index, spec)
+    job = executor(spec)
+    _emit_finish(_WORKER_QUEUE, index, spec, job)
+    return job
+
+
 def run_jobs(
     specs: Sequence[JobSpec],
     jobs: int | None = 1,
@@ -285,12 +403,19 @@ def run_jobs(
     correctness checks).
     """
     specs = list(specs)
+    tele = telemetry.get_session()
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    if tele is not None:
+        tele.attach_total(len(specs))
+    local_sink = _SessionSink(tele) if tele is not None else None
     results: list[JobResult | None] = [None] * len(specs)
     pending: list[tuple[int, JobSpec]] = []
     for i, spec in enumerate(specs):
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             results[i] = hit
+            _emit_finish(local_sink, i, spec, hit)
         else:
             pending.append((i, spec))
 
@@ -299,16 +424,32 @@ def run_jobs(
         fresh: list[JobResult] | None = None
         if nworkers > 1 and len(pending) > 1 and _poolable([s for _, s in pending]):
             try:
-                with ProcessPoolExecutor(max_workers=min(nworkers, len(pending))) as pool:
-                    fresh = list(pool.map(executor, [s for _, s in pending]))
+                queue = tele.remote_queue() if tele is not None else None
+                with ProcessPoolExecutor(
+                    max_workers=min(nworkers, len(pending)),
+                    initializer=_pool_init,
+                    initargs=(get_logger().state(), queue),
+                ) as pool:
+                    fresh = list(
+                        pool.map(_pool_run, [(executor, i, s) for i, s in pending])
+                    )
+                if tele is not None:
+                    tele.drain_pending()
             except (BrokenProcessPool, OSError, pickle.PicklingError):
                 fresh = None
         if fresh is None:
-            fresh = [executor(s) for _, s in pending]
+            fresh = []
+            for i, spec in pending:
+                _emit_start(local_sink, i, spec)
+                job = executor(spec)
+                _emit_finish(local_sink, i, spec, job)
+                fresh.append(job)
         for (i, spec), job in zip(pending, fresh):
             results[i] = job
             if cache is not None:
                 cache.put(spec, job)
+    if cache is not None:
+        cache.persist_stats(cache.hits - hits0, cache.misses - misses0)
     return [r for r in results if r is not None]
 
 

@@ -1,0 +1,298 @@
+"""``repro perf`` — the bench-history ledger and regression reports.
+
+The ``BENCH_*.json`` files are isolated snapshots: each PR re-measures
+and overwrites, so the repo has no perf *trajectory*.  This module adds
+one:
+
+* :func:`record` appends any bench trajectory docs into an append-only
+  JSONL ledger (``benchmarks/history.jsonl``), each entry keyed by
+  commit, host and bench kind with the bench's headline metric
+  extracted (see :data:`BENCH_METRICS`);
+* :func:`build_report` compares the latest ledger entry of every series
+  against the committed baseline docs and flags direction-aware
+  regressions beyond a tolerance, giving the CI perf-smoke job and
+  future PRs a real trend instead of a single number.
+
+Series are keyed by ``(bench kind, scale, nprocs)`` — numbers measured
+at different scales or machine sizes are never compared (the same rule
+:func:`repro.core.bench.check_engine_regression` applies).  Absolute
+values remain host-dependent; the ledger records the host so a human
+(or a stricter future check) can slice like-for-like.
+"""
+# lint: ok-module[wall-clock] — measurement harness: timestamps date ledger
+# entries on the host; simulated timing comes only from cycle counts.
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any
+
+#: Default ledger location, next to the paper-scale benchmarks.
+HISTORY_FILE = "benchmarks/history.jsonl"
+
+#: Bench kind -> (headline metric as a dotted path into the doc,
+#: direction in which *larger* values are better/worse).  ``None``
+#: metric = record-only benches (no scalar worth trending).
+BENCH_METRICS: dict[str, tuple[str | None, str | None]] = {
+    "parallel-study-engine": ("speedup", "higher"),
+    "engine-throughput": ("events_per_sec", "higher"),
+    "observability-overhead": ("modes.both.ratio", "lower"),
+    "profiler-overhead": ("overhead_ratio", "lower"),
+    "correctness-check": ("wall_s", "lower"),
+    "scenario-degradation": (None, None),
+}
+
+#: Glob the committed baseline snapshots live under.
+BENCH_GLOB = "BENCH_*.json"
+
+
+def metric_value(doc: dict, path: str) -> float | None:
+    """Resolve a dotted path (``modes.both.ratio``) inside a bench doc."""
+    node: Any = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def detect_commit() -> str | None:
+    """Short git commit of the working tree, or None outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def make_entry(
+    doc: dict,
+    commit: str | None = None,
+    host: str | None = None,
+    recorded_at: float | None = None,
+) -> dict | None:
+    """One ledger entry for a bench trajectory doc (None if not one)."""
+    kind = doc.get("bench")
+    if not isinstance(kind, str):
+        return None
+    path, direction = BENCH_METRICS.get(kind, (None, None))
+    value = metric_value(doc, path) if path else None
+    return {
+        "schema": 1,
+        "recorded_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ",
+            time.gmtime(recorded_at if recorded_at is not None else time.time()),
+        ),
+        "commit": commit,
+        "host": host if host is not None else platform.node(),
+        "cpu_count": doc.get("cpu_count", os.cpu_count()),
+        "bench": kind,
+        "scale": doc.get("scale"),
+        "nprocs": doc.get("nprocs"),
+        "metric": path,
+        "direction": direction,
+        "value": value,
+    }
+
+
+def series_key(entry: dict) -> tuple:
+    """Ledger entries are only comparable within this key."""
+    return (entry.get("bench"), entry.get("scale"), entry.get("nprocs"))
+
+
+def load_history(history: str | os.PathLike = HISTORY_FILE) -> list[dict]:
+    """All ledger entries, in file (= chronological append) order."""
+    path = Path(history)
+    if not path.is_file():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def record(
+    paths: list[str | os.PathLike],
+    history: str | os.PathLike = HISTORY_FILE,
+    commit: str | None = None,
+    host: str | None = None,
+    recorded_at: float | None = None,
+) -> list[dict]:
+    """Append the bench docs at ``paths`` to the ledger.
+
+    Returns the entries appended.  Files that are not bench trajectory
+    docs are skipped, as are exact duplicates (same series, commit and
+    value as an existing entry) so re-recording an unchanged checkout
+    is idempotent.
+    """
+    if commit is None:
+        commit = detect_commit()
+    existing = load_history(history)
+    seen = {
+        (series_key(e), e.get("commit"), e.get("value")) for e in existing
+    }
+    appended = []
+    for path in paths:
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(doc, dict):
+            continue
+        entry = make_entry(doc, commit=commit, host=host, recorded_at=recorded_at)
+        if entry is None:
+            continue
+        key = (series_key(entry), entry.get("commit"), entry.get("value"))
+        if key in seen:
+            continue
+        seen.add(key)
+        appended.append(entry)
+    if appended:
+        out = Path(history)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with open(out, "a") as fh:
+            for entry in appended:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return appended
+
+
+def collect_baselines(root: str | os.PathLike = ".") -> dict[tuple, dict]:
+    """Committed ``BENCH_*.json`` docs keyed like ledger series."""
+    baselines: dict[tuple, dict] = {}
+    for path in sorted(Path(root).glob(BENCH_GLOB)):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        entry = make_entry(doc)
+        if entry is not None:
+            baselines[series_key(entry)] = doc
+    return baselines
+
+
+def _regressed(latest: float, baseline: float, direction: str, tolerance: float) -> bool:
+    if baseline <= 0:
+        return False
+    if direction == "higher":
+        return latest < baseline * (1.0 - tolerance)
+    return latest > baseline * (1.0 + tolerance)
+
+
+def build_report(
+    entries: list[dict],
+    baselines: dict[tuple, dict],
+    tolerance: float = 0.2,
+) -> dict:
+    """Deltas and trends: latest ledger entry per series vs baseline.
+
+    ``delta_pct`` is signed movement of the metric relative to the
+    committed baseline; ``regressed`` applies ``tolerance`` in the
+    series' bad direction.  Record-only series (no metric) and series
+    without a matching baseline are listed but never flagged.
+    """
+    by_series: dict[tuple, list[dict]] = {}
+    for entry in entries:
+        by_series.setdefault(series_key(entry), []).append(entry)
+    series_reports = []
+    regressions = 0
+    for key in sorted(by_series, key=lambda k: tuple(str(p) for p in k)):
+        series = by_series[key]
+        latest = series[-1]
+        metric = latest.get("metric")
+        direction = latest.get("direction")
+        trend = [e.get("value") for e in series if e.get("value") is not None]
+        report: dict[str, Any] = {
+            "bench": key[0],
+            "scale": key[1],
+            "nprocs": key[2],
+            "metric": metric,
+            "direction": direction,
+            "entries": len(series),
+            "trend": trend[-8:],
+            "latest": latest.get("value"),
+            "latest_commit": latest.get("commit"),
+            "baseline": None,
+            "delta_pct": None,
+            "regressed": False,
+        }
+        base_doc = baselines.get(key)
+        if base_doc is not None and metric:
+            base_value = metric_value(base_doc, metric)
+            report["baseline"] = base_value
+            if base_value and report["latest"] is not None:
+                delta = (report["latest"] - base_value) / base_value
+                report["delta_pct"] = round(100.0 * delta, 2)
+                report["regressed"] = _regressed(
+                    report["latest"], base_value, direction or "higher", tolerance
+                )
+        if report["regressed"]:
+            regressions += 1
+        series_reports.append(report)
+    return {
+        "schema": 1,
+        "report": "perf-trajectory",
+        "tolerance": tolerance,
+        "series": series_reports,
+        "regressions": regressions,
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable perf trajectory table."""
+    lines = [
+        f"perf trajectory: {len(report['series'])} series, "
+        f"tolerance {report['tolerance']:.0%}, "
+        f"{report['regressions']} regression(s)",
+        f"{'bench':>24s} {'scale':>8s} {'metric':>18s} {'baseline':>10s} "
+        f"{'latest':>10s} {'delta':>8s}  status",
+    ]
+
+    def num(v: float | None) -> str:
+        if v is None:
+            return "-"
+        return f"{v:,.1f}" if abs(v) >= 10 else f"{v:.3f}"
+
+    for s in report["series"]:
+        delta = f"{s['delta_pct']:+.1f}%" if s["delta_pct"] is not None else "-"
+        if s["metric"] is None:
+            status = "record-only"
+        elif s["baseline"] is None:
+            status = "no baseline"
+        elif s["regressed"]:
+            status = "REGRESSED"
+        else:
+            status = "ok"
+        lines.append(
+            f"{str(s['bench']):>24s} {str(s['scale']):>8s} "
+            f"{str(s['metric'] or '-'):>18s} {num(s['baseline']):>10s} "
+            f"{num(s['latest']):>10s} {delta:>8s}  {status} "
+            f"({s['entries']} entr{'y' if s['entries'] == 1 else 'ies'})"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BENCH_GLOB",
+    "BENCH_METRICS",
+    "HISTORY_FILE",
+    "build_report",
+    "collect_baselines",
+    "detect_commit",
+    "format_report",
+    "load_history",
+    "make_entry",
+    "metric_value",
+    "record",
+    "series_key",
+]

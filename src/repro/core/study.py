@@ -140,6 +140,7 @@ def run_study(
         systems=list(systems),
         wall_seconds=wall,
         jobs=jobs_done,
+        cache_size=cache.size() if cache is not None else None,
     )
     return StudyResult(
         app_name=app_name or "?", config=cfg, systems=results, manifest=manifest

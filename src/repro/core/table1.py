@@ -108,5 +108,6 @@ def table1_with_manifest(
         systems=["z-mc"],
         wall_seconds=time.perf_counter() - t0,
         jobs=jobs_done,
+        cache_size=cache.size() if cache is not None else None,
     )
     return [_row_from_job(cfg, job) for job in jobs_done], manifest

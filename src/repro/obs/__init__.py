@@ -12,6 +12,11 @@ Four pillars (see docs/observability.md):
   and studies are self-describing artifacts.
 - :mod:`repro.obs.log` — the structured logger behind the CLI's
   ``--verbose``/``--quiet``/``--json`` modes.
+- :mod:`repro.obs.profile` — the host self-profiler: wall-time
+  attribution per simulator component (``repro profile``).
+- :mod:`repro.obs.telemetry` — per-job heartbeat records streamed from
+  ``run_jobs`` workers: live progress rendering plus the
+  ``--telemetry-out`` replayable JSONL sink.
 
 Everything here is strictly additive: with no collector attached the
 simulation pays one ``is None`` check per resumed thread and nothing
@@ -21,14 +26,18 @@ else.
 from .log import Logger, configure, get_logger
 from .manifest import build_manifest, read_manifest, write_manifest
 from .metrics import Counter, Gauge, Histogram, MetricsCollector
+from .profile import HostProfiler
+from .telemetry import TelemetrySession
 from .timeline import to_perfetto, write_trace
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HostProfiler",
     "Logger",
     "MetricsCollector",
+    "TelemetrySession",
     "build_manifest",
     "configure",
     "get_logger",

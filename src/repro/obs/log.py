@@ -92,6 +92,15 @@ class Logger:
         """Emit a structured payload (pretty JSON on the payload channel)."""
         print(json.dumps(payload, indent=2, sort_keys=True, default=str), file=self.stream)
 
+    def state(self) -> dict[str, bool]:
+        """Picklable configuration, for re-creating this logger in pool
+        workers (streams are process-local and intentionally omitted)."""
+        return {
+            "verbose": self.verbose,
+            "quiet": self.quiet,
+            "json_mode": self.json_mode,
+        }
+
 
 _logger = Logger()
 

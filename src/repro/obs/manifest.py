@@ -56,6 +56,7 @@ def build_manifest(
     jobs: list[Any] | None = None,
     cache_hits: int | None = None,
     cache_misses: int | None = None,
+    cache_size: tuple[int, int] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build a manifest dict for one run.
@@ -110,6 +111,12 @@ def build_manifest(
         }
     elif cache_hits is not None or cache_misses is not None:
         manifest["cache"] = {"hits": cache_hits or 0, "misses": cache_misses or 0}
+    if "cache" in manifest:
+        block = manifest["cache"]
+        lookups = block["hits"] + block["misses"]
+        block["hit_rate"] = round(block["hits"] / lookups, 4) if lookups else None
+        if cache_size is not None:
+            block["entries"], block["bytes"] = cache_size
     if extra:
         manifest.update(extra)
     return manifest

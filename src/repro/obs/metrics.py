@@ -121,7 +121,7 @@ class MetricsCollector:
     #: JSON export schema version.
     SCHEMA = 1
 
-    def __init__(self, nprocs: int, interval: float, network=None, inner=None):
+    def __init__(self, nprocs: int, interval: float, network=None, inner=None, engine=None):
         if interval <= 0:
             raise ValueError(f"metrics interval must be > 0, got {interval}")
         if nprocs < 1:
@@ -136,6 +136,15 @@ class MetricsCollector:
         self._net_delta: dict[int, dict[str, float]] = {}
         #: bucket index -> buffer depth samples at entry to the bucket
         self._depths: dict[int, dict[str, list[int]]] = {}
+        #: bucket index -> accesses accrued while it was current (the
+        #: same sample-at-crossing pattern as ``_net_delta``)
+        self._access_delta: dict[int, int] = {}
+        self._last_accesses = 0
+        #: engine whose ready-queue (event-wheel) depth is sampled at
+        #: bucket crossings; None outside :meth:`attach`.
+        self._engine = engine
+        #: bucket index -> wheel depth at entry to the bucket
+        self._wheel_depth: dict[int, int] = {}
         self._cursor = 0
         #: simulated time at which the current bucket ends; deposits
         #: below it skip the _advance call entirely (the hot path).
@@ -162,6 +171,7 @@ class MetricsCollector:
             interval,
             network=machine.network,
             inner=machine.engine.memsys,
+            engine=machine.engine,
         )
         machine.engine.memsys = collector
         machine.engine.observer = collector
@@ -274,6 +284,13 @@ class MetricsCollector:
             else:
                 self._net_delta[self._cursor] = delta
             self._last_net = snap
+        acc = self.accesses.value
+        if acc != self._last_accesses:
+            cur = self._access_delta.get(self._cursor, 0)
+            self._access_delta[self._cursor] = cur + acc - self._last_accesses
+            self._last_accesses = acc
+        if self._engine is not None:
+            self._wheel_depth[b] = len(self._engine._queue)
         depths = self._sample_depths()
         if depths:
             self._depths[b] = depths
@@ -373,6 +390,13 @@ class MetricsCollector:
 
     def to_dict(self) -> dict:
         """JSON-ready export (see docs/observability.md for the schema)."""
+        # Flush accesses accrued since the last bucket crossing into the
+        # current bucket (idempotent: the counter delta is consumed).
+        acc = self.accesses.value
+        if acc != self._last_accesses:
+            cur = self._access_delta.get(self._cursor, 0)
+            self._access_delta[self._cursor] = cur + acc - self._last_accesses
+            self._last_accesses = acc
         buckets = []
         for index in sorted(self._buckets):
             cells = self._buckets[index]
@@ -389,6 +413,12 @@ class MetricsCollector:
             depths = self._depths.get(index)
             if depths is not None:
                 entry["buffer_depth"] = depths
+            accesses = self._access_delta.get(index)
+            if accesses is not None:
+                entry["accesses"] = accesses
+            wheel = self._wheel_depth.get(index)
+            if wheel is not None:
+                entry["wheel_depth"] = wheel
             buckets.append(entry)
         return {
             "schema": self.SCHEMA,

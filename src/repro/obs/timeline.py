@@ -55,6 +55,7 @@ def to_perfetto(
     app: str = "",
     system: str = "",
     sync_names: _SyncNames | None = None,
+    metrics: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build a trace-event JSON document from trace events.
 
@@ -62,7 +63,10 @@ def to_perfetto(
     iterable of :class:`~repro.sim.trace.TraceEvent`.  ``sync_names``
     (from :meth:`SyncManager.sync_names`) labels sync slices and flow
     events with their declaration names, matching the spelling used by
-    the static analyzer's reports.
+    the static analyzer's reports.  ``metrics`` (a
+    :meth:`MetricsCollector.to_dict` document) adds per-bucket counter
+    tracks — events/sec, event-wheel depth, store-buffer depth — above
+    the processor lanes.
     """
     events = list(getattr(events, "events", events))
     if total_time is None:
@@ -176,12 +180,51 @@ def to_perfetto(
                 )
                 pending = None
 
+    body.extend(_counter_events(metrics))
     body.sort(key=lambda entry: entry["ts"])
     return {
         "traceEvents": meta + body,
         "displayTimeUnit": "ms",
         "otherData": {"app": app, "system": system, "total_time_cycles": total_time},
     }
+
+
+def _counter_events(metrics: dict[str, Any] | None) -> list[dict[str, Any]]:
+    """Perfetto ``C`` counter tracks from an interval-metrics document.
+
+    One sample per bucket, stamped at the bucket's start: simulated
+    events per second (1 cycle = 1 us, so ``accesses / interval * 1e6``),
+    the event-wheel (ready queue) depth and the machine-wide store- and
+    merge-buffer depths sampled at the bucket crossing.
+    """
+    if not metrics:
+        return []
+    interval = metrics.get("interval") or 0.0
+    out: list[dict[str, Any]] = []
+    for bucket in metrics.get("buckets", ()):
+        ts = bucket["t0"]
+        accesses = bucket.get("accesses")
+        if accesses is not None and interval > 0:
+            rate = round(accesses / interval * 1e6, 1)
+            out.append(
+                {"ph": "C", "pid": 0, "tid": 0, "cat": "metrics",
+                 "name": "events/sec", "ts": ts, "args": {"value": rate}}
+            )
+        wheel = bucket.get("wheel_depth")
+        if wheel is not None:
+            out.append(
+                {"ph": "C", "pid": 0, "tid": 0, "cat": "metrics",
+                 "name": "wheel depth", "ts": ts, "args": {"value": wheel}}
+            )
+        depths = bucket.get("buffer_depth")
+        if depths:
+            for kind, per_proc in depths.items():
+                out.append(
+                    {"ph": "C", "pid": 0, "tid": 0, "cat": "metrics",
+                     "name": f"{kind.replace('_', ' ')} depth", "ts": ts,
+                     "args": {"value": sum(per_proc)}}
+                )
+    return out
 
 
 def write_trace(path: str | Path, document: dict[str, Any]) -> Path:

@@ -136,7 +136,10 @@ DOCUMENTED_MODULES = [
     "repro.apps.costs",
     "repro.core.bench",
     "repro.core.parallel",
+    "repro.core.perf",
     "repro.mem.cache",
+    "repro.obs.profile",
+    "repro.obs.telemetry",
     "repro.scenarios.inject",
     "repro.scenarios.registry",
     "repro.scenarios.report",

@@ -255,7 +255,7 @@ def test_study_attaches_manifest():
     assert m["kind"] == "study" and m["app"] == "IS"
     assert [j["system"] for j in m["jobs"]] == ["z-mc", "RCinv"]
     assert m["events"] == sum(j["events"] for j in m["jobs"]) > 0
-    assert m["cache"] == {"hits": 0, "misses": 2}
+    assert m["cache"] == {"hits": 0, "misses": 2, "hit_rate": 0.0}
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,193 @@
+"""Bench-history ledger tests: round-trip, dedup, regression flagging."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import perf
+
+#: A fixed timestamp so entries are reproducible.
+T0 = 1754650000.0
+
+
+def _engine_doc(events_per_sec: float) -> dict:
+    return {
+        "schema": 1,
+        "bench": "engine-throughput",
+        "scale": "default",
+        "nprocs": 16,
+        "events_per_sec": events_per_sec,
+        "cpu_count": 8,
+    }
+
+
+def _profile_doc(ratio: float) -> dict:
+    return {
+        "schema": 1,
+        "bench": "profiler-overhead",
+        "scale": "default",
+        "nprocs": 16,
+        "overhead_ratio": ratio,
+        "cpu_count": 8,
+    }
+
+
+def _write(tmp_path, name: str, doc: dict):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_metric_value_dotted_path():
+    doc = {"modes": {"both": {"ratio": 1.7}}}
+    assert perf.metric_value(doc, "modes.both.ratio") == 1.7
+    assert perf.metric_value(doc, "modes.missing.ratio") is None
+    assert perf.metric_value({"x": "nan-string"}, "x") is None
+
+
+def test_make_entry_extracts_headline_metric():
+    entry = perf.make_entry(_engine_doc(400_000.0), commit="abc1234", recorded_at=T0)
+    assert entry["bench"] == "engine-throughput"
+    assert entry["metric"] == "events_per_sec"
+    assert entry["direction"] == "higher"
+    assert entry["value"] == 400_000.0
+    assert entry["commit"] == "abc1234"
+    assert entry["recorded_at"].startswith("2025-")
+    assert perf.make_entry({"not": "a bench"}) is None
+
+
+def test_record_round_trip_and_dedup(tmp_path):
+    hist = tmp_path / "history.jsonl"
+    p = _write(tmp_path, "BENCH_engine.json", _engine_doc(400_000.0))
+    appended = perf.record([p], history=hist, commit="abc", recorded_at=T0)
+    assert len(appended) == 1
+    assert perf.load_history(hist) == appended
+    # Same commit + value: idempotent.
+    assert perf.record([p], history=hist, commit="abc", recorded_at=T0) == []
+    # New commit: a new ledger entry.
+    assert len(perf.record([p], history=hist, commit="def", recorded_at=T0)) == 1
+    assert len(perf.load_history(hist)) == 2
+    # Non-bench files are skipped quietly.
+    junk = _write(tmp_path, "BENCH_junk.json", {"hello": 1})
+    assert perf.record([junk, tmp_path / "missing.json"], history=hist) == []
+
+
+def test_report_flags_synthetic_regression(tmp_path):
+    """A >20% drop in a higher-is-better metric (and a >20% rise in a
+    lower-is-better one) must be flagged; smaller movement must not."""
+    baseline_dir = tmp_path / "repo"
+    baseline_dir.mkdir()
+    _write(baseline_dir, "BENCH_engine.json", _engine_doc(400_000.0))
+    _write(baseline_dir, "BENCH_profile.json", _profile_doc(1.2))
+    hist = tmp_path / "history.jsonl"
+    perf.record(
+        [
+            _write(tmp_path, "BENCH_e2.json", _engine_doc(300_000.0)),  # -25%
+            _write(tmp_path, "BENCH_p2.json", _profile_doc(1.5)),  # +25%
+        ],
+        history=hist,
+        commit="bad",
+        recorded_at=T0,
+    )
+    report = perf.build_report(
+        perf.load_history(hist), perf.collect_baselines(baseline_dir)
+    )
+    assert report["regressions"] == 2
+    by_bench = {s["bench"]: s for s in report["series"]}
+    assert by_bench["engine-throughput"]["regressed"]
+    assert by_bench["engine-throughput"]["delta_pct"] == -25.0
+    assert by_bench["profiler-overhead"]["regressed"]
+    text = perf.format_report(report)
+    assert "REGRESSED" in text
+
+    # Within tolerance: ok.
+    hist_ok = tmp_path / "ok.jsonl"
+    perf.record(
+        [_write(tmp_path, "BENCH_e3.json", _engine_doc(350_000.0))],  # -12.5%
+        history=hist_ok,
+        commit="ok",
+        recorded_at=T0,
+    )
+    report_ok = perf.build_report(
+        perf.load_history(hist_ok), perf.collect_baselines(baseline_dir)
+    )
+    assert report_ok["regressions"] == 0
+
+
+def test_improvements_never_flagged(tmp_path):
+    baseline_dir = tmp_path / "repo"
+    baseline_dir.mkdir()
+    _write(baseline_dir, "BENCH_engine.json", _engine_doc(400_000.0))
+    hist = tmp_path / "history.jsonl"
+    perf.record(
+        [_write(tmp_path, "BENCH_fast.json", _engine_doc(900_000.0))],  # +125%
+        history=hist,
+        commit="fast",
+        recorded_at=T0,
+    )
+    report = perf.build_report(
+        perf.load_history(hist), perf.collect_baselines(baseline_dir)
+    )
+    assert report["regressions"] == 0
+    (series,) = report["series"]
+    assert series["delta_pct"] == 125.0
+
+
+def test_series_isolation_by_scale_and_nprocs(tmp_path):
+    """Entries measured at a different scale/nprocs form their own
+    series and are never compared against the committed baseline."""
+    baseline_dir = tmp_path / "repo"
+    baseline_dir.mkdir()
+    _write(baseline_dir, "BENCH_engine.json", _engine_doc(400_000.0))
+    other = _engine_doc(100_000.0)
+    other["nprocs"] = 256  # much slower, but a different machine size
+    hist = tmp_path / "history.jsonl"
+    perf.record(
+        [_write(tmp_path, "BENCH_p256.json", other)],
+        history=hist, commit="x", recorded_at=T0,
+    )
+    report = perf.build_report(
+        perf.load_history(hist), perf.collect_baselines(baseline_dir)
+    )
+    (series,) = report["series"]
+    assert series["baseline"] is None
+    assert not series["regressed"]
+    assert report["regressions"] == 0
+
+
+def test_record_only_series_never_flagged(tmp_path):
+    doc = {"schema": 1, "bench": "scenario-degradation", "scale": "small", "nprocs": 16}
+    hist = tmp_path / "history.jsonl"
+    perf.record(
+        [_write(tmp_path, "BENCH_scn.json", doc)], history=hist, commit="x", recorded_at=T0
+    )
+    report = perf.build_report(perf.load_history(hist), {})
+    (series,) = report["series"]
+    assert series["metric"] is None
+    assert not series["regressed"]
+    assert "record-only" in perf.format_report(report)
+
+
+def test_trend_accumulates(tmp_path):
+    hist = tmp_path / "history.jsonl"
+    for i, eps in enumerate((300_000.0, 350_000.0, 400_000.0)):
+        perf.record(
+            [_write(tmp_path, f"BENCH_{i}.json", _engine_doc(eps))],
+            history=hist, commit=f"c{i}", recorded_at=T0 + i,
+        )
+    report = perf.build_report(perf.load_history(hist), {})
+    (series,) = report["series"]
+    assert series["entries"] == 3
+    assert series["trend"] == [300_000.0, 350_000.0, 400_000.0]
+    assert series["latest"] == 400_000.0
+    assert series["latest_commit"] == "c2"
+
+
+def test_committed_ledger_reports_clean():
+    """The repo's own ledger must report no regressions against the
+    committed BENCH baselines (both were produced by the same commit)."""
+    entries = perf.load_history()
+    if not entries:  # ledger not seeded yet in this checkout
+        return
+    report = perf.build_report(entries, perf.collect_baselines())
+    assert report["regressions"] == 0, perf.format_report(report)

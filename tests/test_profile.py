@@ -1,0 +1,160 @@
+"""Self-profiler tests: bit-identity, accounting invariant, reporting.
+
+The profiler's contract is twofold: with ``engine.profiler`` unset the
+hot path pays one ``is None`` check and results are byte-for-byte what
+they always were (the golden suite pins that globally); with a profiler
+attached the *results are still bit-identical* — only host wall-time is
+observed — and every attributed nanosecond is accounted against a
+component without the totals exceeding the measured wall time.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import MachineConfig
+from repro.apps.factory import AppFactory
+from repro.obs.metrics import MetricsCollector
+from repro.obs.profile import COMPONENTS, HostProfiler
+from repro.runtime.context import Machine
+from repro.sim.trace import TracingMemory
+
+from .golden import PROC_FIELDS, run_case
+
+#: (app preset, system) cases for the bit-identity matrix: one cheap
+#: app on three very different systems plus a sync-heavy app.
+CASES = [
+    ("IS", "z-mc"),
+    ("IS", "RCinv"),
+    ("Cholesky", "SCinv"),
+    ("Nbody", "RCupd"),
+]
+
+
+def _run(name: str, system: str, profiled: bool, tracer: bool = False):
+    from repro.apps import preset
+
+    factory = preset("smoke")[name][0]
+    app = factory()
+    machine = Machine(MachineConfig(nprocs=16), system)
+    app.setup(machine)
+    if tracer:
+        TracingMemory.attach(machine, max_events=100_000)
+    prof = HostProfiler.attach(machine) if profiled else None
+    result = machine.run(app.worker)
+    return result, machine, prof
+
+
+def _fingerprint(result, machine) -> dict:
+    doc = {
+        "total_time": result.total_time,
+        "ops": result.ops,
+        "network_messages": machine.network.stats.messages,
+        "network_bytes": machine.network.stats.bytes,
+    }
+    for field in PROC_FIELDS:
+        doc[field] = [getattr(p, field) for p in result.procs]
+    return doc
+
+
+@pytest.mark.parametrize("name,system", CASES)
+def test_profiled_run_bit_identical(name, system):
+    plain, m_plain, _ = _run(name, system, profiled=False)
+    prof_res, m_prof, prof = _run(name, system, profiled=True)
+    assert _fingerprint(plain, m_plain) == _fingerprint(prof_res, m_prof)
+    assert prof.ops == prof_res.ops
+
+
+def test_profiled_run_bit_identical_under_tracer():
+    """Profiling composes with the tracer without changing results."""
+    plain, m_plain, _ = _run("IS", "RCinv", profiled=False, tracer=True)
+    prof_res, m_prof, prof = _run("IS", "RCinv", profiled=True, tracer=True)
+    assert _fingerprint(plain, m_plain) == _fingerprint(prof_res, m_prof)
+    assert prof.has_decorators
+    # Decorator overhead was split out of the memory component.
+    assert prof.ns["tracer"] > 0
+
+
+def test_accounting_invariant():
+    """Components are non-negative and sum to at most the wall time."""
+    _, _, prof = _run("IS", "RCinv", profiled=True)
+    assert prof.wall_ns > 0
+    assert prof.ops > 0
+    assert prof.segments > 0
+    for name in COMPONENTS:
+        assert prof.ns[name] >= 0, f"negative attribution for {name}"
+    attributed = prof.attributed_ns()
+    assert attributed <= prof.wall_ns
+    # The marks themselves are the only untracked time; they are cheap
+    # relative to the work between them.
+    assert attributed >= 0.8 * prof.wall_ns
+
+
+def test_golden_results_match_unprofiled(golden_cases=None):
+    """Spot-check three goldens: profiled == recorded unprofiled run."""
+    for name, system in (("IS", "z-mc"), ("IS", "RCinv"), ("Cholesky", "SCinv")):
+        factory = (
+            AppFactory("RacyDemo")
+            if name == "RacyDemo"
+            else __import__("repro.apps", fromlist=["preset"]).preset("smoke")[name][0]
+        )
+        expected = run_case(factory, system, verify=False)
+        res, machine, _ = _run(name, system, profiled=True)
+        assert res.total_time == expected["total_time"]
+        assert res.ops == expected["ops"]
+
+
+def test_to_dict_and_table():
+    _, _, prof = _run("IS", "RCinv", profiled=True)
+    doc = prof.to_dict()
+    assert doc["schema"] == 1
+    assert doc["profile"] == "host-component-attribution"
+    assert set(doc["components"]) == set(COMPONENTS)
+    assert doc["wall_ns"] == prof.wall_ns
+    assert doc["attributed_ns"] + doc["unattributed_ns"] == doc["wall_ns"]
+    table = prof.table()
+    for name in COMPONENTS:
+        assert name in table
+    assert "ns/op" in table
+
+
+def test_to_perfetto_flame():
+    _, _, prof = _run("IS", "RCinv", profiled=True)
+    doc = prof.to_perfetto()
+    events = doc["traceEvents"]
+    root = [e for e in events if e.get("name") == "engine.run"]
+    assert len(root) == 1
+    slices = [e for e in events if e["ph"] == "X" and e["name"] != "engine.run"]
+    assert slices, "expected component slices"
+    # Children tile the root without overlap and fit inside it.
+    cursor = 0.0
+    for s in sorted(slices, key=lambda e: e["ts"]):
+        assert s["ts"] == pytest.approx(cursor)
+        cursor += s["dur"]
+    assert cursor <= root[0]["dur"] * 1.001
+    json.dumps(doc)  # must be serialisable
+
+
+def test_metrics_collector_composes():
+    """MetricsCollector's direct read/write bindings get re-pointed so
+    the tracer/mem split stays exact (no negative components)."""
+    from repro.apps import preset
+
+    factory = preset("smoke")["IS"][0]
+    app = factory()
+    machine = Machine(MachineConfig(nprocs=16), "RCinv")
+    app.setup(machine)
+    MetricsCollector.attach(machine, interval=1000.0)
+    prof = HostProfiler.attach(machine)
+    machine.run(app.worker)
+    assert prof.has_decorators
+    for name in COMPONENTS:
+        assert prof.ns[name] >= 0, f"negative attribution for {name}"
+
+
+def test_disabled_profiler_is_default():
+    """No profiler attached -> engine.profiler stays None (no hooks)."""
+    machine = Machine(MachineConfig(nprocs=16), "RCinv")
+    assert machine.engine.profiler is None

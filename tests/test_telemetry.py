@@ -1,0 +1,106 @@
+"""Telemetry tests: record schema, ordering/determinism, run_jobs wiring.
+
+The pinned property: two runs of the same job set produce identical
+*stable views* (records minus host-timing fields) in the JSONL sink,
+regardless of worker count or arrival order — the sink is sorted by
+``(job, seq)`` at close.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MachineConfig
+from repro.apps import preset
+from repro.core.parallel import JobSpec, ResultCache, run_jobs
+from repro.obs import telemetry
+
+
+def _specs(nprocs: int = 16) -> list[JobSpec]:
+    cfg = MachineConfig(nprocs=nprocs)
+    factory = preset("smoke")["IS"][0]
+    return [
+        JobSpec(factory=factory, system=system, config=cfg)
+        for system in ("z-mc", "RCinv", "RCupd", "RCadapt")
+    ]
+
+
+def _run_with_telemetry(tmp_path, name: str, jobs: int, cache=None):
+    out = tmp_path / f"{name}.jsonl"
+    with telemetry.session(out=out) as sess:
+        run_jobs(_specs(), jobs=jobs, cache=cache)
+        assert sess.total == 4
+    return telemetry.load_records(out)
+
+
+def test_record_schema():
+    start = telemetry.job_started(3, "IS", "RCinv")
+    assert start["schema"] == telemetry.SCHEMA
+    assert (start["job"], start["seq"], start["event"]) == (3, 0, "start")
+    finish = telemetry.job_finished(3, "IS", "RCinv", events=100, elapsed_s=0.5, cached=False)
+    assert (finish["seq"], finish["event"]) == (1, "finish")
+    assert finish["events_per_sec"] == pytest.approx(200.0)
+    cached = telemetry.job_finished(3, "IS", "RCinv", events=100, elapsed_s=0.0, cached=True)
+    assert cached["cached"] is True
+    assert cached["events_per_sec"] is None
+
+
+def test_stable_view_strips_volatile_fields():
+    rec = telemetry.job_finished(0, "IS", "z-mc", events=10, elapsed_s=0.1, cached=False)
+    rec["eta_s"] = 1.0
+    (view,) = telemetry.stable_view([rec])
+    for field in telemetry.VOLATILE_FIELDS:
+        assert field not in view
+    assert view["events"] == 10
+
+
+def test_in_process_run_emits_ordered_records(tmp_path):
+    records = _run_with_telemetry(tmp_path, "inproc", jobs=1)
+    assert len(records) == 8  # start + finish per job
+    keys = [(r["job"], r["seq"]) for r in records]
+    assert keys == sorted(keys)
+    finishes = [r for r in records if r["event"] == "finish"]
+    assert all(r["events"] > 0 for r in finishes)
+
+
+def test_pool_run_deterministic_stable_view(tmp_path):
+    """--jobs 4: arrival order varies, the sorted stable view does not."""
+    first = _run_with_telemetry(tmp_path, "a", jobs=4)
+    second = _run_with_telemetry(tmp_path, "b", jobs=4)
+    assert telemetry.stable_view(first) == telemetry.stable_view(second)
+    assert len(first) == 8
+    # ...and matches the in-process run's stable view too.
+    inproc = _run_with_telemetry(tmp_path, "c", jobs=1)
+    assert telemetry.stable_view(first) == telemetry.stable_view(inproc)
+
+
+def test_cache_hits_flagged(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    _run_with_telemetry(tmp_path, "cold", jobs=1, cache=cache)
+    warm = _run_with_telemetry(tmp_path, "warm", jobs=1, cache=cache)
+    finishes = [r for r in warm if r["event"] == "finish"]
+    assert len(finishes) == 4
+    assert all(r["cached"] for r in finishes)
+
+
+def test_eta_enrichment_and_progress_line():
+    sess = telemetry.TelemetrySession(total=2)
+    sess.emit(telemetry.job_started(0, "IS", "z-mc"))
+    rec = telemetry.job_finished(0, "IS", "z-mc", events=10, elapsed_s=0.1, cached=False)
+    sess.emit(rec)
+    assert rec["eta_s"] is not None
+    line = sess._progress_line(rec)
+    assert line.startswith("[1/2] IS/z-mc:")
+    cached = telemetry.job_finished(1, "IS", "RCinv", events=10, elapsed_s=0.0, cached=True)
+    sess.emit(cached)
+    assert "cache hit" in sess._progress_line(cached)
+
+
+def test_session_is_process_wide():
+    assert telemetry.get_session() is None
+    with telemetry.session() as sess:
+        assert telemetry.get_session() is sess
+        with telemetry.session() as inner:
+            assert telemetry.get_session() is inner
+        assert telemetry.get_session() is sess
+    assert telemetry.get_session() is None
