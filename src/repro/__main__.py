@@ -13,6 +13,12 @@ profile  run one application under the host self-profiler and print the
          per-component wall-time attribution (wheel / app / mem /
          network / tracer / sync / observer / dispatch), optionally as
          a Perfetto flame view
+attribute run one application under exact overhead attribution and
+         print ranked stall-cycle tables by shared region / sync object /
+         phase / home node (``--vs`` adds an inline overhead-delta diff
+         against another system or scenario)
+diff     decompose the overhead delta between two saved attribution
+         reports (from ``repro attribute --out``)
 bench    time serial vs parallel vs cached execution of the full study
          set and write a BENCH_parallel.json perf baseline (with
          ``--trace``: measure observability overhead → BENCH_trace.json;
@@ -65,15 +71,18 @@ from .apps import SCALES, default_scale, preset
 from .apps.factory import AppFactory
 from .core import perf
 from .core.bench import (
+    ATTRIB_BENCH_FILE,
     BENCH_FILE,
     ENGINE_BENCH_FILE,
     PROFILE_BENCH_FILE,
     TRACE_BENCH_FILE,
     check_engine_regression,
+    format_attrib_bench,
     format_bench,
     format_engine_bench,
     format_profile_bench,
     format_trace_bench,
+    run_attrib_bench,
     run_bench,
     run_engine_bench,
     run_profile_bench,
@@ -84,12 +93,21 @@ from .core.table1 import table1_with_manifest
 from .mem.systems import PAPER_SYSTEMS, SYSTEM_REGISTRY
 from .obs import MetricsCollector, configure, get_logger, to_perfetto, write_trace
 from .obs import telemetry
+from .obs.attrib import (
+    diff_reports,
+    format_attribution,
+    format_diff,
+    load_report,
+    run_attribution,
+)
 from .obs.manifest import build_manifest, write_manifest
 from .obs.profile import HostProfiler
+from .obs.timeline import attribution_to_perfetto
 from .runtime.context import Machine
 from .scenarios import (
     SCENARIO_BENCH_FILE,
     SCENARIO_NAMES,
+    apply_scenario,
     format_report,
     get_scenario,
     parse_overrides,
@@ -261,6 +279,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
     if tracer.dropped:
         log.warn(f"{tracer.dropped} trace event(s) dropped; raise --max-events")
+    hot = tracer.hottest_blocks(args.top)
+    if hot and hot[0][1] > 0:
+        log.out(f"hottest blocks by stall cycles (top {args.top}):")
+        for block_name, stall in hot:
+            log.out(f"  {block_name:<36s} {stall:>12.1f}")
     metrics = collector.to_dict() if collector is not None else None
     doc = to_perfetto(
         tracer, cfg.nprocs, total_time=result.total_time, app=name,
@@ -299,10 +322,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f"{', '.join(sorted(SYSTEM_REGISTRY))}"
         )
     name, factory = _resolve_trace_app(args.app)
-    if args.scale != "default":
-        scale_apps = preset(args.scale)
-        if name in scale_apps:
-            factory = scale_apps[name][0]
+    factory = _scaled_factory(name, factory, args.scale)
     app = factory()
     machine = Machine(cfg, args.system)
     app.setup(machine)
@@ -323,6 +343,79 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.flame:
         write_trace(args.flame, prof.to_perfetto())
         log.out(f"flame view written to {args.flame}")
+    return 0
+
+
+def _scaled_factory(name: str, factory: AppFactory, scale: str) -> AppFactory:
+    """Swap in the preset factory for ``scale`` when the app has one."""
+    if scale != "default":
+        scale_apps = preset(scale)
+        if name in scale_apps:
+            factory = scale_apps[name][0]
+    return factory
+
+
+def cmd_attribute(args: argparse.Namespace) -> int:
+    log = get_logger()
+    cfg = _config(args)
+    if args.system not in SYSTEM_REGISTRY:
+        raise SystemExit(
+            f"unknown memory system {args.system!r}; choose from "
+            f"{', '.join(sorted(SYSTEM_REGISTRY))}"
+        )
+    name, factory = _resolve_trace_app(args.app)
+    factory = _scaled_factory(name, factory, args.scale)
+    log.debug(f"attributing {name} on {args.system}", scale=args.scale)
+    report, result = run_attribution(
+        factory, args.system, cfg, app=name, scale=args.scale
+    )
+    log.info(
+        f"{name} on {args.system}: {result.ops} ops, "
+        f"{result.total_time:.0f} simulated cycles"
+    )
+    log.out(format_attribution(report, by=args.by, top=args.top))
+    if not report["exact"]:
+        log.warn(f"attribution residual nonzero: {json.dumps(report['residual'])}")
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        log.out(f"attribution report written to {args.out}")
+    if args.perfetto:
+        write_trace(args.perfetto, attribution_to_perfetto(report, top=args.top))
+        log.out(f"attribution heatmap written to {args.perfetto}")
+    if args.vs:
+        if args.vs in SYSTEM_REGISTRY:
+            # Same app, other memory system.
+            other, _ = run_attribution(
+                factory, args.vs, cfg, app=name, scale=args.scale
+            )
+        elif args.vs in SCENARIO_NAMES:
+            # Same app and system, degraded machine.
+            other, _ = run_attribution(
+                factory, args.system, apply_scenario(args.vs, cfg),
+                app=name, scale=args.scale, label=args.vs,
+            )
+        else:
+            raise SystemExit(
+                f"--vs expects a memory system ({', '.join(sorted(SYSTEM_REGISTRY))}) "
+                f"or a scenario ({', '.join(SCENARIO_NAMES)}); got {args.vs!r}"
+            )
+        log.out("")
+        log.out(format_diff(diff_reports(report, other), by=args.by, top=args.top))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    log = get_logger()
+    try:
+        a = load_report(args.report_a)
+        b = load_report(args.report_b)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(str(exc)) from None
+    diff = diff_reports(a, b)
+    log.out(format_diff(diff, by=args.by, top=args.top))
+    if args.out:
+        Path(args.out).write_text(json.dumps(diff, indent=2) + "\n")
+        log.out(f"diff document written to {args.out}")
     return 0
 
 
@@ -359,6 +452,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         out = args.out if args.out != BENCH_FILE else PROFILE_BENCH_FILE
         doc = run_profile_bench(scale=args.scale, nprocs=args.nprocs, out=out)
         log.out(format_profile_bench(doc))
+        log.out(f"trajectory written to {out}")
+        return 0
+    if args.attrib:
+        out = args.out if args.out != BENCH_FILE else ATTRIB_BENCH_FILE
+        doc = run_attrib_bench(scale=args.scale, nprocs=args.nprocs, out=out)
+        log.out(format_attrib_bench(doc))
         log.out(f"trajectory written to {out}")
         return 0
     doc = run_bench(scale=args.scale, jobs=args.jobs or None, out=args.out)
@@ -714,8 +813,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--max-events",
         type=int,
-        default=100_000,
-        help="trace ring size (default 100000)",
+        default=None,
+        help=f"trace ring size (default {TracingMemory.DEFAULT_MAX_EVENTS})",
+    )
+    p_trace.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="hottest blocks (by stall cycles) to print (default 5)",
     )
     _add_manifest_flag(p_trace)
     p_trace.set_defaults(func=cmd_trace)
@@ -743,6 +848,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prof.set_defaults(func=cmd_profile)
 
+    p_attr = sub.add_parser(
+        "attribute",
+        help="exact overhead attribution: stall cycles by shared region, "
+        "sync object, phase and home node",
+    )
+    p_attr.add_argument("app", help="application name or alias (e.g. intsort, maxflow)")
+    p_attr.add_argument("system", help="memory system (e.g. RCinv, z-mc)")
+    p_attr.add_argument(
+        "--scale", choices=SCALES, default="default", help="workload preset"
+    )
+    p_attr.add_argument(
+        "--by",
+        choices=("block", "sync", "phase", "home", "all"),
+        default="all",
+        help="dimension(s) to print (default all four)",
+    )
+    p_attr.add_argument(
+        "--top", type=int, default=10, help="rows per dimension table (default 10)"
+    )
+    p_attr.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the full attribution report as JSON to PATH "
+        "(the input format of 'repro diff')",
+    )
+    p_attr.add_argument(
+        "--perfetto",
+        default=None,
+        metavar="PATH",
+        help="write a Perfetto counter-heatmap (per-region stall per phase) to PATH",
+    )
+    p_attr.add_argument(
+        "--vs",
+        default=None,
+        metavar="SYSTEM|SCENARIO",
+        help="also run the same app on another memory system (or this system "
+        "under a degradation scenario) and print the overhead-delta diff",
+    )
+    p_attr.set_defaults(func=cmd_attribute)
+
+    p_diff = sub.add_parser(
+        "diff", help="decompose the overhead delta between two attribution reports"
+    )
+    p_diff.add_argument("report_a", help="baseline attribution report (JSON, from --out)")
+    p_diff.add_argument("report_b", help="comparison attribution report (JSON)")
+    p_diff.add_argument(
+        "--by",
+        choices=("block", "sync", "phase", "home", "all"),
+        default="all",
+        help="dimension(s) to print (default all four)",
+    )
+    p_diff.add_argument(
+        "--top", type=int, default=10, help="rows per dimension table (default 10)"
+    )
+    p_diff.add_argument(
+        "--out", default=None, metavar="PATH", help="write the diff document as JSON"
+    )
+    p_diff.set_defaults(func=cmd_diff)
+
     p_bench = sub.add_parser(
         "bench", help="serial vs parallel vs cached timing of the full study set"
     )
@@ -767,6 +932,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure self-profiler overhead instead: interleaved plain vs "
         f"profiled study matrix (writes {PROFILE_BENCH_FILE})",
+    )
+    p_bench.add_argument(
+        "--attrib",
+        action="store_true",
+        help="measure overhead-attribution cost instead: interleaved plain vs "
+        f"attributed study matrix (writes {ATTRIB_BENCH_FILE})",
     )
     p_bench.add_argument(
         "--quick",

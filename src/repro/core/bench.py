@@ -46,6 +46,9 @@ ENGINE_BENCH_FILE = "BENCH_engine.json"
 #: Name of the self-profiler overhead trajectory file.
 PROFILE_BENCH_FILE = "BENCH_profile.json"
 
+#: Name of the overhead-attribution overhead trajectory file.
+ATTRIB_BENCH_FILE = "BENCH_attrib.json"
+
 
 def bench_specs(
     scale: str = "default",
@@ -420,6 +423,103 @@ def format_profile_bench(doc: dict) -> str:
     return "\n".join(lines)
 
 
+def run_attrib_bench(
+    scale: str = "default",
+    nprocs: int = 16,
+    reps: int = 5,
+    systems: tuple[str, ...] = PAPER_SYSTEMS,
+    out: str | os.PathLike | None = ATTRIB_BENCH_FILE,
+) -> dict:
+    """Measure :class:`AttributionCollector` overhead (interleaved A/B).
+
+    Same protocol as :func:`run_profile_bench`: every preset app x every
+    paper system, alternating plain and attributed runs per matrix cell
+    so host noise hits both modes equally, median of the per-rep ratios.
+    Asserts the attributed runs produce identical simulated results
+    *and* that attribution was exact (per-category attributed cycles
+    equal the ``SimResult`` totals) on every cell of the first rep —
+    the bench doubles as an end-to-end invariant check at full scale.
+    """
+    from ..obs.attrib import OVERHEAD_CATEGORIES, AttributionCollector
+
+    cfg = MachineConfig(nprocs=nprocs)
+    apps = preset(scale)
+    walls = {"plain": float("inf"), "attributed": float("inf")}
+    events = 0
+    identical = True
+    exact = True
+    ratios: list[float] = []
+    cells = 0
+    for rep in range(max(1, reps)):
+        rep_walls = {"plain": 0.0, "attributed": 0.0}
+        outcomes: dict[str, list] = {"plain": [], "attributed": []}
+        total_ops = 0
+        for factory, _ in apps.values():
+            for system in systems:
+                for mode in ("plain", "attributed"):
+                    app = factory()
+                    machine = Machine(cfg, system)
+                    app.setup(machine)
+                    collector = (
+                        AttributionCollector.attach(machine) if mode == "attributed" else None
+                    )
+                    t0 = time.perf_counter()
+                    result = machine.run(app.worker)
+                    rep_walls[mode] += time.perf_counter() - t0
+                    if mode == "plain":
+                        total_ops += result.ops
+                    outcomes[mode].append((result.total_time, result.ops))
+                    if collector is not None and rep == 0:
+                        cells += 1
+                        totals = collector.proc_totals()
+                        for cat in OVERHEAD_CATEGORIES:
+                            for p, proc in enumerate(result.procs):
+                                if totals[cat][p] != getattr(proc, cat):
+                                    exact = False
+        events = total_ops
+        identical = identical and outcomes["plain"] == outcomes["attributed"]
+        if rep_walls["plain"] > 0:
+            ratios.append(rep_walls["attributed"] / rep_walls["plain"])
+        for mode in walls:
+            walls[mode] = min(walls[mode], rep_walls[mode])
+    assert identical, "attribution collector changed simulated results"
+    assert exact, "attribution was not exact on some matrix cell"
+    ratio = sorted(ratios)[len(ratios) // 2] if ratios else float("inf")
+    doc = {
+        "bench": "attribution-overhead",
+        "scale": scale,
+        "nprocs": nprocs,
+        "systems": list(systems),
+        "reps": max(1, reps),
+        "events": events,
+        "cells": cells,
+        "plain_wall_s": round(walls["plain"], 4),
+        "attributed_wall_s": round(walls["attributed"], 4),
+        "overhead_ratio": round(ratio, 3),
+        "rep_ratios": [round(r, 3) for r in ratios],
+        "results_identical": identical,
+        "attribution_exact": exact,
+        "cpu_count": os.cpu_count(),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def format_attrib_bench(doc: dict) -> str:
+    """Human-readable summary of an attribution-overhead trajectory."""
+    return "\n".join(
+        [
+            f"attribution overhead: {doc['events']:,} events ({doc['scale']} scale, "
+            f"P={doc['nprocs']}, {len(doc['systems'])} systems), median of {doc['reps']}",
+            f"  plain {doc['plain_wall_s']:.3f}s, attributed {doc['attributed_wall_s']:.3f}s "
+            f"-> {doc['overhead_ratio']:.2f}x",
+            f"  results identical: {doc['results_identical']}, "
+            f"attribution exact on all {doc['cells']} cells: {doc['attribution_exact']}",
+        ]
+    )
+
+
 def format_bench(doc: dict) -> str:
     """Human-readable summary of a bench trajectory."""
     lines = [
@@ -437,16 +537,19 @@ def format_bench(doc: dict) -> str:
 
 
 __all__ = [
+    "ATTRIB_BENCH_FILE",
     "BENCH_FILE",
     "ENGINE_BENCH_FILE",
     "PROFILE_BENCH_FILE",
     "TRACE_BENCH_FILE",
     "bench_specs",
     "check_engine_regression",
+    "format_attrib_bench",
     "format_bench",
     "format_engine_bench",
     "format_profile_bench",
     "format_trace_bench",
+    "run_attrib_bench",
     "run_bench",
     "run_engine_bench",
     "run_profile_bench",

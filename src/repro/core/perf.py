@@ -43,6 +43,7 @@ BENCH_METRICS: dict[str, tuple[str | None, str | None]] = {
     "engine-throughput": ("events_per_sec", "higher"),
     "observability-overhead": ("modes.both.ratio", "lower"),
     "profiler-overhead": ("overhead_ratio", "lower"),
+    "attribution-overhead": ("overhead_ratio", "lower"),
     "correctness-check": ("wall_s", "lower"),
     "scenario-degradation": (None, None),
 }

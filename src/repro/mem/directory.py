@@ -92,5 +92,18 @@ class Directory:  # lint: hot
     def blocks(self) -> list[int]:
         return list(self._entries)
 
+    def blocks_by_home(self, home_of, nnodes: int) -> list[int]:
+        """Directory population per home node (attribution context).
+
+        ``home_of`` is the memory system's block->node mapping; the
+        result counts how many blocks each node is home for, so an
+        attribution report can show whether a hot home node is hot
+        because it homes many blocks or few contended ones.
+        """
+        counts = [0] * nnodes
+        for block in self._entries:
+            counts[home_of(block)] += 1
+        return counts
+
     def total_writes(self) -> int:
         return sum(e.write_count for e in self._entries.values())

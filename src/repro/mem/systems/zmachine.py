@@ -57,6 +57,11 @@ class ZMachine:
     def block_of(self, addr: int) -> int:
         return addr // self.line_size
 
+    def home_of(self, block: int) -> int:
+        """Home node of a block (same interleaving as the real systems,
+        so attribution reports stay comparable across models)."""
+        return self.config.home_node(block)
+
     def read(self, proc: int, addr: int, now: float) -> AccessResult:
         self.shared_reads += 1
         # Inlined Directory.peek (hot path: every z-machine read).

@@ -17,20 +17,34 @@ Four pillars (see docs/observability.md):
 - :mod:`repro.obs.telemetry` — per-job heartbeat records streamed from
   ``run_jobs`` workers: live progress rendering plus the
   ``--telemetry-out`` replayable JSONL sink.
+- :mod:`repro.obs.attrib` — exact overhead attribution: every
+  read-stall/write-stall/buffer-flush cycle charged to a named shared
+  region, sync object, application phase and home node, with
+  differential reports (``repro attribute`` / ``repro diff``).
 
 Everything here is strictly additive: with no collector attached the
 simulation pays one ``is None`` check per resumed thread and nothing
 else.
 """
 
+from .attrib import (
+    AttributionCollector,
+    build_report,
+    diff_reports,
+    format_attribution,
+    format_diff,
+    load_report,
+    run_attribution,
+)
 from .log import Logger, configure, get_logger
 from .manifest import build_manifest, read_manifest, write_manifest
 from .metrics import Counter, Gauge, Histogram, MetricsCollector
 from .profile import HostProfiler
 from .telemetry import TelemetrySession
-from .timeline import to_perfetto, write_trace
+from .timeline import attribution_to_perfetto, to_perfetto, write_trace
 
 __all__ = [
+    "AttributionCollector",
     "Counter",
     "Gauge",
     "Histogram",
@@ -38,10 +52,17 @@ __all__ = [
     "Logger",
     "MetricsCollector",
     "TelemetrySession",
+    "attribution_to_perfetto",
     "build_manifest",
+    "build_report",
     "configure",
+    "diff_reports",
+    "format_attribution",
+    "format_diff",
     "get_logger",
+    "load_report",
     "read_manifest",
+    "run_attribution",
     "to_perfetto",
     "write_manifest",
     "write_trace",

@@ -1,0 +1,773 @@
+"""Exact overhead attribution: *which* data, sync objects, phases and
+home nodes every stall cycle is paid for.
+
+The paper's headline numbers decompose execution time into read-stall /
+write-stall / buffer-flush totals per processor; this module explains
+them.  :class:`AttributionCollector` is a memory-system decorator (same
+composition contract as :class:`repro.sim.trace.TracingMemory`) that
+charges every overhead cycle to a *cell* — the cross product of the
+current application phase and either an address block (data accesses) or
+a sync object (acquire / release / barrier / fence) — while maintaining
+per-processor per-category accumulators with the **same addends in the
+same order** as the engine's ``ProcStats``, so the attributed totals
+equal the :class:`repro.sim.stats.SimResult` totals bit-for-bit.
+
+:func:`build_report` folds the cells into four ranked dimensions at
+once:
+
+* **block** — named :class:`~repro.runtime.sharedmem.SharedArray`
+  region (``excess[0:8]``), plus one ``(sync ops)`` row, so the
+  dimension partitions the attributed overhead;
+* **sync** — lock / barrier / flag / fence object via the
+  ``sync_kind``/``sync_id`` plumbing, labelled like the static analyzer
+  (:func:`repro.analysis.naming.sync_label`), plus a ``(data)`` row;
+* **phase** — the application ``ctx.phase(...)`` markers (cycles before
+  the first marker land in ``(startup)``);
+* **home** — the directory's addr→home mapping, plus a route-weighted
+  per-link load derived from the requester→home pairs of stalled
+  accesses.
+
+:func:`diff_reports` aligns two reports on system-independent keys
+(array names, sync labels, phase labels — block numbering differs
+between the z-machine's one-word lines and the real systems' 32-byte
+lines) and decomposes the overhead *delta*, which is what makes Table 1
+and the scenario reports explainable: "RCinv pays the gap on ``excess``
+inside the ``discharge`` phase" is a sentence this module can back with
+cycles.
+
+Known limits: the latency-tolerance wrapper's ``ReadNB``/``Stall`` ops
+are charged by the engine without consulting the memory system, so runs
+through :mod:`repro.runtime.multithread` surface as a nonzero residual;
+the standard applications never use them and their residual is zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from math import fsum
+from pathlib import Path
+
+from ..analysis.naming import sync_label
+from ..sim.stats import AccessResult, SyncPoint
+
+#: JSON schema version of attribution reports.
+SCHEMA = 1
+
+#: Document kind tag (validated by :func:`load_report` / ``repro diff``).
+REPORT_KIND = "attribution"
+DIFF_KIND = "attribution-diff"
+
+#: Overhead categories attributed (the paper's stall decomposition).
+OVERHEAD_CATEGORIES = ("read_stall", "write_stall", "buffer_flush")
+
+#: The four attribution dimensions, in display order.
+DIMENSIONS = ("block", "sync", "phase", "home")
+
+#: Pseudo-row keys that close the block/sync/home dimensions into
+#: partitions of the attributed overhead.
+SYNC_ROW = "(sync ops)"
+DATA_ROW = "(data)"
+
+#: Phase label charged before the first ``ctx.phase(...)`` marker.
+STARTUP_PHASE = "(startup)"
+
+#: Residual beyond which a report is flagged inexact (same discipline as
+#: the interval-metrics acceptance tests).
+EXACT_TOLERANCE = 1e-6
+
+
+class AttributionCollector:
+    """Memory-system decorator charging overhead cycles to cells.
+
+    Attach after any tracer/checker so their delegation keeps working::
+
+        machine = Machine(cfg, "RCinv"); app.setup(machine)
+        collector = AttributionCollector.attach(machine)
+        result = machine.run(app.worker)
+        report = build_report(collector, result, app="IS", system="RCinv")
+
+    The engine's flyweight-hit shortcut survives the wrap (``__getattr__``
+    delegates ``_hit_result`` inward and identity is preserved), so the
+    stall-free common case costs one dict upsert and nothing else.
+    """
+
+    def __init__(self, inner, nprocs: int, shm=None):
+        self.inner = inner
+        self.nprocs = nprocs
+        #: Optional :class:`repro.runtime.sharedmem.SharedMemory`; when
+        #: set, block cells resolve to array names in reports.
+        self.shm = shm
+        self._line = inner.line_size
+        #: Stall-free flyweight of the wrapped system: results that *are*
+        #: this object carry zero stalls by construction, so the hot path
+        #: skips the three attribute reads entirely.
+        self._hit = getattr(inner, "_hit_result", None)
+        #: Bound addr→home hook of the wrapped system (report-time only
+        #: on the non-stall path; bound once so stalled accesses do not
+        #: pay a delegation chain per call).
+        self._home_of = getattr(inner, "home_of", None)
+        # Phase interning: labels -> small ints, one current id per proc.
+        self._phase_names: list[str] = [STARTUP_PHASE]
+        self._phase_ids: dict[str, int] = {STARTUP_PHASE: 0}
+        self._cur = [0] * nprocs
+        #: (time, proc, label) for every phase marker, in issue order.
+        self.phase_marks: list[tuple[float, int, str]] = []
+        #: (phase_id, block) -> [read_stall, write_stall, buffer_flush, accesses]
+        self._data: dict[tuple[int, int], list] = {}
+        #: (phase_id, sync_kind, sync_id) -> [rs, ws, bf, events]
+        self._sync: dict[tuple[int, str, int], list] = {}
+        #: (requester, home) -> stall cycles of stalled data accesses —
+        #: feeds the derived per-link load, not the exact-sum contract.
+        self._pairs: dict[tuple[int, int], float] = {}
+        #: Per-processor [read_stall, write_stall, buffer_flush] updated
+        #: with the engine's exact addends in the engine's order; zero
+        #: addends are skipped (``x + 0.0 == x`` for these non-negative
+        #: accumulators), so each entry is bit-identical to ProcStats.
+        self._acc = [[0.0, 0.0, 0.0] for _ in range(nprocs)]
+        self.accesses = 0
+        self.sync_events = 0
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def attach(cls, machine) -> AttributionCollector:
+        """Interpose a collector between a Machine's engine and memory."""
+        collector = cls(
+            machine.engine.memsys,
+            machine.config.nprocs,
+            shm=getattr(machine, "shm", None),
+        )
+        machine.engine.memsys = collector
+        return collector
+
+    # -- memory-system decorator surface ---------------------------------
+    def read(self, proc: int, addr: int, now: float) -> AccessResult:
+        res = self.inner.read(proc, addr, now)
+        self.accesses += 1
+        key = (self._cur[proc], addr // self._line)
+        cell = self._data.get(key)
+        if cell is None:
+            cell = self._data[key] = [0.0, 0.0, 0.0, 0]
+        cell[3] += 1
+        if res is self._hit:
+            return res
+        rs = res.read_stall
+        ws = res.write_stall
+        bf = res.buffer_flush
+        if rs == 0.0 and ws == 0.0 and bf == 0.0:
+            return res
+        cell[0] += rs
+        cell[1] += ws
+        cell[2] += bf
+        acc = self._acc[proc]
+        acc[0] += rs
+        acc[1] += ws
+        acc[2] += bf
+        if self._home_of is not None:
+            pair = (proc, self._home_of(key[1]))
+            self._pairs[pair] = self._pairs.get(pair, 0.0) + rs + ws + bf
+        return res
+
+    def write(self, proc: int, addr: int, now: float) -> AccessResult:
+        res = self.inner.write(proc, addr, now)
+        self.accesses += 1
+        key = (self._cur[proc], addr // self._line)
+        cell = self._data.get(key)
+        if cell is None:
+            cell = self._data[key] = [0.0, 0.0, 0.0, 0]
+        cell[3] += 1
+        if res is self._hit:
+            return res
+        rs = res.read_stall
+        ws = res.write_stall
+        bf = res.buffer_flush
+        if rs == 0.0 and ws == 0.0 and bf == 0.0:
+            return res
+        cell[0] += rs
+        cell[1] += ws
+        cell[2] += bf
+        acc = self._acc[proc]
+        acc[0] += rs
+        acc[1] += ws
+        acc[2] += bf
+        if self._home_of is not None:
+            pair = (proc, self._home_of(key[1]))
+            self._pairs[pair] = self._pairs.get(pair, 0.0) + rs + ws + bf
+        return res
+
+    def _sync_cell(self, proc: int, sync: SyncPoint | None) -> list:
+        if sync is not None:
+            key = (self._cur[proc], sync.kind, sync.sync_id)
+        else:
+            key = (self._cur[proc], "sync", -1)
+        cell = self._sync.get(key)
+        if cell is None:
+            cell = self._sync[key] = [0.0, 0.0, 0.0, 0]
+        return cell
+
+    def _charge_sync(self, proc: int, cell: list, res: AccessResult) -> None:
+        cell[3] += 1
+        rs = res.read_stall
+        ws = res.write_stall
+        bf = res.buffer_flush
+        if rs == 0.0 and ws == 0.0 and bf == 0.0:
+            return
+        cell[0] += rs
+        cell[1] += ws
+        cell[2] += bf
+        acc = self._acc[proc]
+        acc[0] += rs
+        acc[1] += ws
+        acc[2] += bf
+
+    def acquire(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
+        res = self.inner.acquire(proc, now, sync=sync)
+        self.sync_events += 1
+        self._charge_sync(proc, self._sync_cell(proc, sync), res)
+        return res
+
+    def release(self, proc: int, now: float, sync: SyncPoint | None = None) -> AccessResult:
+        # Barriers and fences arrive here too (the engine models both as
+        # release-semantics operations); ``sync.kind`` keeps them apart.
+        res = self.inner.release(proc, now, sync=sync)
+        self.sync_events += 1
+        self._charge_sync(proc, self._sync_cell(proc, sync), res)
+        return res
+
+    def sync_note(self, proc: int, now: float, sync: SyncPoint) -> None:
+        """Count a zero-cost flag set/wait into its sync cell."""
+        self.inner.sync_note(proc, now, sync)
+        self.sync_events += 1
+        self._sync_cell(proc, sync)[3] += 1
+
+    def phase_note(self, proc: int, now: float, label: str) -> None:
+        """Switch ``proc``'s attribution target to phase ``label``."""
+        self.inner.phase_note(proc, now, label)
+        pid = self._phase_ids.get(label)
+        if pid is None:
+            pid = self._phase_ids[label] = len(self._phase_names)
+            self._phase_names.append(label)
+        self._cur[proc] = pid
+        self.phase_marks.append((now, proc, label))
+
+    def __getattr__(self, name: str):
+        # Delegate everything else (line_size, publish, caches, ...) inward.
+        return getattr(self.inner, name)
+
+    # -- accessors --------------------------------------------------------
+    def proc_totals(self) -> dict[str, list[float]]:
+        """Per-processor attributed totals, bit-identical to ProcStats."""
+        return {
+            cat: [self._acc[p][i] for p in range(self.nprocs)]
+            for i, cat in enumerate(OVERHEAD_CATEGORIES)
+        }
+
+    def phase_name(self, phase_id: int) -> str:
+        return self._phase_names[phase_id]
+
+
+# ---------------------------------------------------------------------------
+# block naming
+
+
+def block_span_name(shm, line_size: int, block: int) -> tuple[str, str]:
+    """Resolve a block to ``(element-span name, owning array name)``.
+
+    Same byte-span intersection the tracer and race detector use; the
+    second element drops the index ranges (``excess[0:8]`` -> ``excess``)
+    and is the system-independent key :func:`diff_reports` aligns on.
+    """
+    fallback = f"block:{block}"
+    if shm is None:
+        return fallback, fallback
+    lo, hi = block * line_size, (block + 1) * line_size
+    spans: list[str] = []
+    arrays: list[str] = []
+    for arr in shm.arrays:
+        word = arr._word
+        base, end = arr.base, arr.base + arr.n * word
+        if lo < end and hi > base:
+            e0 = max(0, (lo - base) // word)
+            e1 = min(arr.n, (hi - base + word - 1) // word)
+            name = arr.name or f"@0x{arr.base:x}"
+            spans.append(f"{name}[{e0}:{e1}]" if arr.n > 1 else name)
+            arrays.append(name)
+    if not spans:
+        return fallback, fallback
+    return "+".join(spans), "+".join(arrays)
+
+
+def _sync_row_label(sync_names, kind: str, sync_id: int) -> str:
+    """Canonical label for a sync cell (``lock:mf.count_lock#0``)."""
+    if sync_id < 0:
+        return kind  # fence / anonymous: no per-object id
+    obj_kind = "flag" if kind.startswith("flag") else kind
+    name = sync_names.get((obj_kind, sync_id), "") if sync_names else ""
+    return sync_label(kind, name, sync_id)
+
+
+# ---------------------------------------------------------------------------
+# report construction
+
+
+def _zero_row() -> dict[str, float]:
+    return {"read_stall": 0.0, "write_stall": 0.0, "buffer_flush": 0.0, "count": 0}
+
+
+def _fold(row: dict, rs: float, ws: float, bf: float, count) -> None:
+    row["read_stall"] += rs
+    row["write_stall"] += ws
+    row["buffer_flush"] += bf
+    row["count"] += count
+
+
+def _finish_rows(rows: dict[str, dict], total_overhead: float) -> list[dict]:
+    out = []
+    for key, row in rows.items():
+        overhead = row["read_stall"] + row["write_stall"] + row["buffer_flush"]
+        entry = {"key": key, **row, "overhead": overhead}
+        entry["share_pct"] = (
+            round(100.0 * overhead / total_overhead, 2) if total_overhead > 0 else 0.0
+        )
+        out.append(entry)
+    out.sort(key=lambda r: (-r["overhead"], r["key"]))
+    return out
+
+
+def build_report(
+    collector: AttributionCollector,
+    result,
+    app: str = "",
+    system: str = "",
+    scale: str = "",
+    label: str = "",
+    sync_names: dict[tuple[str, int], str] | None = None,
+) -> dict:
+    """Fold a collector's cells into the four-dimension report document.
+
+    ``result`` is the run's :class:`~repro.sim.stats.SimResult`; the
+    report's ``totals`` come from it and ``residual`` records what the
+    cells failed to attribute per category (zero for every standard
+    application — asserted by tests/test_attrib.py).
+    """
+    nprocs = collector.nprocs
+    totals = {
+        "busy": fsum(p.busy for p in result.procs),
+        "read_stall": fsum(p.read_stall for p in result.procs),
+        "write_stall": fsum(p.write_stall for p in result.procs),
+        "buffer_flush": fsum(p.buffer_flush for p in result.procs),
+        "sync_wait": fsum(p.sync_wait for p in result.procs),
+    }
+    totals["overhead"] = totals["read_stall"] + totals["write_stall"] + totals["buffer_flush"]
+    attributed = {
+        cat: fsum(acc[i] for acc in collector._acc)
+        for i, cat in enumerate(OVERHEAD_CATEGORIES)
+    }
+    residual = {cat: totals[cat] - attributed[cat] for cat in OVERHEAD_CATEGORIES}
+    exact = all(abs(v) <= EXACT_TOLERANCE for v in residual.values())
+    attributed_overhead = sum(attributed.values())
+
+    shm, line = collector.shm, collector._line
+    phase_names = collector._phase_names
+    cells: list[dict] = []
+    for (pid, block), (rs, ws, bf, n) in sorted(collector._data.items()):
+        name, array = block_span_name(shm, line, block)
+        home = collector._home_of(block) if collector._home_of is not None else None
+        cells.append(
+            {
+                "phase": phase_names[pid], "kind": "data", "key": array,
+                "name": name, "block": block, "home": home,
+                "read_stall": rs, "write_stall": ws, "buffer_flush": bf,
+                "count": n,
+            }
+        )
+    for (pid, kind, sid), (rs, ws, bf, n) in sorted(collector._sync.items()):
+        cells.append(
+            {
+                "phase": phase_names[pid], "kind": "sync",
+                "key": _sync_row_label(sync_names, kind, sid),
+                "name": _sync_row_label(sync_names, kind, sid),
+                "sync_kind": kind, "sync_id": sid, "home": None,
+                "read_stall": rs, "write_stall": ws, "buffer_flush": bf,
+                "count": n,
+            }
+        )
+
+    # Dimension folds.  Every dimension partitions the attributed
+    # overhead: block/home absorb sync cells into a "(sync ops)" row,
+    # sync absorbs data cells into "(data)".
+    data_total = _zero_row()
+    sync_total = _zero_row()
+    by_block: dict[str, dict] = {}
+    by_sync: dict[str, dict] = {}
+    by_phase: dict[str, dict] = {}
+    by_home: dict[str, dict] = {}
+    block_meta: dict[str, dict] = {}
+    for c in cells:
+        rs, ws, bf, n = c["read_stall"], c["write_stall"], c["buffer_flush"], c["count"]
+        _fold(by_phase.setdefault(c["phase"], _zero_row()), rs, ws, bf, n)
+        if c["kind"] == "data":
+            _fold(data_total, rs, ws, bf, n)
+            _fold(by_block.setdefault(c["name"], _zero_row()), rs, ws, bf, n)
+            meta = block_meta.setdefault(
+                c["name"], {"array": c["key"], "block": c["block"], "home": c["home"]}
+            )
+            if meta["block"] != c["block"]:
+                meta["block"] = None  # name spans several blocks across phases
+            home_key = f"node {c['home']}" if c["home"] is not None else "(no home)"
+            _fold(by_home.setdefault(home_key, _zero_row()), rs, ws, bf, n)
+        else:
+            _fold(sync_total, rs, ws, bf, n)
+            _fold(by_sync.setdefault(c["name"], _zero_row()), rs, ws, bf, n)
+    if sync_total["count"]:
+        by_block[SYNC_ROW] = dict(sync_total)
+        by_home[SYNC_ROW] = dict(sync_total)
+    if data_total["count"]:
+        by_sync[DATA_ROW] = dict(data_total)
+
+    dims = {
+        "block": _finish_rows(by_block, attributed_overhead),
+        "sync": _finish_rows(by_sync, attributed_overhead),
+        "phase": _finish_rows(by_phase, attributed_overhead),
+        "home": _finish_rows(by_home, attributed_overhead),
+    }
+    for row in dims["block"]:
+        meta = block_meta.get(row["key"])
+        if meta is not None:
+            row.update(meta)
+
+    # Home-dimension context: directory population and the derived
+    # route-weighted link load (a stalled cycle is credited to every hop
+    # of its requester->home route, so links do NOT sum to the totals).
+    directory = getattr(collector.inner, "directory", None)
+    if directory is not None and collector._home_of is not None:
+        dir_blocks = directory.blocks_by_home(collector._home_of, nprocs)
+        for row in dims["home"]:
+            if row["key"].startswith("node "):
+                row["dir_blocks"] = dir_blocks[int(row["key"][5:])]
+    links = _link_load(collector)
+
+    phases = [{"label": STARTUP_PHASE, "first_mark": 0.0}]
+    seen = {STARTUP_PHASE}
+    for t, _proc, mark_label in sorted(collector.phase_marks):
+        if mark_label not in seen:
+            seen.add(mark_label)
+            phases.append({"label": mark_label, "first_mark": t})
+
+    return {
+        "schema": SCHEMA,
+        "kind": REPORT_KIND,
+        "app": app,
+        "system": system,
+        "label": label,
+        "scale": scale,
+        "nprocs": nprocs,
+        "line_size": line,
+        "total_time": result.total_time,
+        "ops": result.ops,
+        "totals": totals,
+        "attributed": attributed,
+        "residual": residual,
+        "exact": exact,
+        "counts": {
+            "accesses": collector.accesses,
+            "sync_events": collector.sync_events,
+            "data_cells": len(collector._data),
+            "sync_cells": len(collector._sync),
+        },
+        "phases": phases,
+        "dims": dims,
+        "links": links,
+        "cells": cells,
+    }
+
+
+def _link_load(collector: AttributionCollector) -> list[dict]:
+    """Per-link stall load from the requester→home pairs (derived view)."""
+    if not collector._pairs:
+        return []
+    config = getattr(collector.inner, "config", None)
+    if config is None:
+        return []
+    from ..network.topology import make_topology
+
+    dims = config.mesh_dims if config.topology in ("mesh", "torus") else None
+    try:
+        topo = make_topology(config.topology, config.nprocs, dims)
+    except ValueError:
+        return []
+    load: dict[tuple[int, int], float] = {}
+    for (src, dst), stall in collector._pairs.items():
+        for link in topo.route(src, dst):
+            load[link] = load.get(link, 0.0) + stall
+    rows = [
+        {"link": f"{u}->{v}", "overhead": cycles}
+        for (u, v), cycles in load.items()
+    ]
+    rows.sort(key=lambda r: (-r["overhead"], r["link"]))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# differential mode
+
+
+def load_report(path: str | os.PathLike) -> dict:
+    """Read and validate an attribution report written by ``--out``."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or doc.get("kind") != REPORT_KIND:
+        raise ValueError(f"{path} is not an attribution report (kind != {REPORT_KIND!r})")
+    return doc
+
+
+def _aligned(report: dict, dim: str) -> dict[tuple[str, str], dict]:
+    """Cells re-aggregated on system-independent ``(phase, key)`` pairs.
+
+    ``dim`` picks the key: array name (block), sync label (sync), the
+    empty string (phase — the phase alone aligns), or home node (home).
+    Block *numbers* never appear: the z-machine's one-word lines and the
+    real systems' 32-byte lines number blocks differently, so arrays and
+    labels are the only keys two systems share.
+    """
+    out: dict[tuple[str, str], dict] = {}
+    for c in report["cells"]:
+        if dim == "block":
+            key = c["key"] if c["kind"] == "data" else SYNC_ROW
+        elif dim == "sync":
+            key = c["name"] if c["kind"] == "sync" else DATA_ROW
+        elif dim == "home":
+            key = f"node {c['home']}" if c.get("home") is not None else SYNC_ROW
+        else:  # phase
+            key = ""
+        row = out.setdefault((c["phase"], key), _zero_row())
+        _fold(row, c["read_stall"], c["write_stall"], c["buffer_flush"], c["count"])
+    return out
+
+
+def _diff_dim(a: dict, b: dict, dim: str, gap: float, collapse_phase: bool) -> list[dict]:
+    ca, cb = _aligned(a, dim), _aligned(b, dim)
+    if collapse_phase:
+        # Fold the phase axis away for the per-dimension tables; the
+        # hotspot list keeps it.
+        def collapse(cells: dict) -> dict:
+            out: dict[tuple[str, str], dict] = {}
+            for (phase, key), row in cells.items():
+                merged = out.setdefault(("", key if dim != "phase" else phase), _zero_row())
+                _fold(merged, row["read_stall"], row["write_stall"], row["buffer_flush"], row["count"])
+            return out
+
+        ca, cb = collapse(ca), collapse(cb)
+    rows = []
+    for cell_key in sorted(set(ca) | set(cb)):
+        phase, key = cell_key
+        ra = ca.get(cell_key, _zero_row())
+        rb = cb.get(cell_key, _zero_row())
+        deltas = {
+            cat: rb[cat] - ra[cat] for cat in OVERHEAD_CATEGORIES
+        }
+        delta = sum(deltas.values())
+        if delta == 0.0 and all(v == 0.0 for v in deltas.values()):
+            continue
+        a_overhead = sum(ra[cat] for cat in OVERHEAD_CATEGORIES)
+        row = {
+            "key": key,
+            "a": a_overhead,
+            "b": a_overhead + delta,
+            "delta": delta,
+            "share_of_gap_pct": round(100.0 * delta / gap, 2) if gap else None,
+            **{f"delta_{cat}": deltas[cat] for cat in OVERHEAD_CATEGORIES},
+        }
+        if phase:
+            row["phase"] = phase
+        rows.append(row)
+    rows.sort(key=lambda r: (-abs(r["delta"]), r["key"]))
+    return rows
+
+
+def diff_reports(a: dict, b: dict) -> dict:
+    """Decompose the overhead delta between two attribution reports.
+
+    The gap is ``b - a`` per category and dimension row; a self-diff is
+    all-zero and swapping the arguments negates every delta (the
+    antisymmetry tests/test_attrib.py pins).  Reports from different
+    apps still diff (keys simply fail to align), but the result is only
+    meaningful for the same workload under two systems or scenarios.
+    """
+    for doc in (a, b):
+        if doc.get("kind") != REPORT_KIND:
+            raise ValueError(f"diff_reports needs attribution reports, got {doc.get('kind')!r}")
+    delta = {
+        cat: b["totals"][cat] - a["totals"][cat]
+        for cat in (*OVERHEAD_CATEGORIES, "overhead", "busy", "sync_wait")
+    }
+    delta["total_time"] = b["total_time"] - a["total_time"]
+    gap = delta["overhead"]
+
+    def _side(doc: dict) -> dict:
+        return {
+            "app": doc["app"], "system": doc["system"], "label": doc["label"],
+            "scale": doc["scale"], "total_time": doc["total_time"],
+            "overhead": doc["totals"]["overhead"],
+        }
+
+    return {
+        "schema": SCHEMA,
+        "kind": DIFF_KIND,
+        "a": _side(a),
+        "b": _side(b),
+        "delta": delta,
+        "gap": gap,
+        "dims": {
+            dim: _diff_dim(a, b, dim, gap, collapse_phase=True) for dim in DIMENSIONS
+        },
+        # Finest alignment: (phase, array-or-sync-label) — the rows the
+        # worked examples in docs/observability.md quote.
+        "hotspots": _diff_dim(a, b, "block", gap, collapse_phase=False),
+    }
+
+
+# ---------------------------------------------------------------------------
+# formatting
+
+
+def _describe(doc: dict) -> str:
+    label = f" [{doc['label']}]" if doc.get("label") else ""
+    return f"{doc['app']} on {doc['system']}{label}"
+
+
+def format_attribution(report: dict, by: str = "all", top: int = 10) -> str:
+    """Ranked attribution tables for one report (``repro attribute``)."""
+    t = report["totals"]
+    lines = [
+        f"overhead attribution: {_describe(report)} "
+        f"({report['scale'] or 'default'} scale, P={report['nprocs']})",
+        f"  total {report['total_time']:,.0f} cycles; overhead {t['overhead']:,.1f} "
+        f"(read {t['read_stall']:,.1f}, write {t['write_stall']:,.1f}, "
+        f"flush {t['buffer_flush']:,.1f}); "
+        f"exact: {'yes' if report['exact'] else 'NO (see residual)'}",
+    ]
+    dims = DIMENSIONS if by == "all" else (by,)
+    for dim in dims:
+        rows = report["dims"][dim]
+        lines.append(f"by {dim}:")
+        lines.append(
+            f"  {'key':<34s} {'read':>12s} {'write':>12s} {'flush':>12s} "
+            f"{'overhead':>12s} {'share':>7s} {'events':>9s}"
+        )
+        for row in rows[:top]:
+            lines.append(
+                f"  {row['key'][:34]:<34s} {row['read_stall']:>12.1f} "
+                f"{row['write_stall']:>12.1f} {row['buffer_flush']:>12.1f} "
+                f"{row['overhead']:>12.1f} {row['share_pct']:>6.1f}% {row['count']:>9d}"
+            )
+        if len(rows) > top:
+            rest = sum(r["overhead"] for r in rows[top:])
+            lines.append(f"  ... {len(rows) - top} more row(s), {rest:,.1f} cycles")
+    if report["links"] and (by in ("all", "home")):
+        hottest = report["links"][0]
+        lines.append(
+            f"hottest link (route-weighted): {hottest['link']} "
+            f"({hottest['overhead']:,.1f} stall cycles routed over it)"
+        )
+    return "\n".join(lines)
+
+
+def format_diff(diff: dict, by: str = "all", top: int = 10) -> str:
+    """Human-readable overhead-delta decomposition (``repro diff``)."""
+    gap = diff["gap"]
+    lines = [
+        f"overhead diff: A = {_describe(diff['a'])}  vs  B = {_describe(diff['b'])}",
+        f"  overhead {diff['a']['overhead']:,.1f} -> {diff['b']['overhead']:,.1f} "
+        f"(gap {gap:+,.1f} cycles; total time {diff['delta']['total_time']:+,.1f})",
+    ]
+    if gap == 0.0 and not any(diff["dims"][d] for d in DIMENSIONS):
+        lines.append("  reports are identical: every attributed cell matches")
+        return "\n".join(lines)
+    dims = DIMENSIONS if by == "all" else (by,)
+    for dim in dims:
+        rows = diff["dims"][dim]
+        if not rows:
+            continue
+        lines.append(f"by {dim}:")
+        lines.append(
+            f"  {'key':<34s} {'A':>12s} {'B':>12s} {'delta':>12s} {'of gap':>8s}"
+        )
+        for row in rows[:top]:
+            share = (
+                f"{row['share_of_gap_pct']:+.1f}%"
+                if row["share_of_gap_pct"] is not None
+                else "-"
+            )
+            lines.append(
+                f"  {row['key'][:34]:<34s} {row['a']:>12.1f} {row['b']:>12.1f} "
+                f"{row['delta']:>+12.1f} {share:>8s}"
+            )
+    hot = [r for r in diff["hotspots"] if r.get("phase")][:3]
+    for row in hot:
+        cats = {cat: row[f"delta_{cat}"] for cat in OVERHEAD_CATEGORIES}
+        dominant = max(cats, key=lambda c: abs(cats[c]))
+        share = (
+            f"{row['share_of_gap_pct']:+.1f}% of the gap"
+            if row["share_of_gap_pct"] is not None
+            else f"{row['delta']:+,.1f} cycles"
+        )
+        lines.append(
+            f"hotspot: {share} is {dominant} on {row['key']} "
+            f"in phase {row['phase']} ({row['delta']:+,.1f} cycles)"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# one-call driver
+
+
+def run_attribution(
+    factory,
+    system: str,
+    config,
+    app: str = "",
+    scale: str = "",
+    label: str = "",
+):
+    """Run ``factory()`` on ``system`` under attribution.
+
+    Returns ``(report, result)``.  Used by the CLI, the bench and the
+    tests; imports the runtime lazily so ``repro.obs`` stays importable
+    without the full machine stack.
+    """
+    from ..runtime.context import Machine
+
+    application = factory()
+    machine = Machine(config, system)
+    application.setup(machine)
+    collector = AttributionCollector.attach(machine)
+    result = machine.run(application.worker)
+    report = build_report(
+        collector,
+        result,
+        app=app,
+        system=system,
+        scale=scale,
+        label=label,
+        sync_names=machine.sync.sync_names(),
+    )
+    return report, result
+
+
+__all__ = [
+    "DIFF_KIND",
+    "DIMENSIONS",
+    "EXACT_TOLERANCE",
+    "OVERHEAD_CATEGORIES",
+    "REPORT_KIND",
+    "SCHEMA",
+    "AttributionCollector",
+    "block_span_name",
+    "build_report",
+    "diff_reports",
+    "format_attribution",
+    "format_diff",
+    "load_report",
+    "run_attribution",
+]

@@ -68,6 +68,7 @@ def to_perfetto(
     tracks — events/sec, event-wheel depth, store-buffer depth — above
     the processor lanes.
     """
+    source = events
     events = list(getattr(events, "events", events))
     if total_time is None:
         total_time = max((e.complete for e in events), default=0.0)
@@ -182,10 +183,79 @@ def to_perfetto(
 
     body.extend(_counter_events(metrics))
     body.sort(key=lambda entry: entry["ts"])
+    other: dict[str, Any] = {"app": app, "system": system, "total_time_cycles": total_time}
+    # When the caller passed a TracingMemory (not a bare event list),
+    # embed its hot-block rankings so the --out sidecar carries them.
+    hottest = getattr(source, "hottest_blocks", None)
+    if callable(hottest):
+        other["hottest_blocks"] = hottest()
+        accessed = getattr(source, "hottest_accessed", None)
+        if callable(accessed):
+            other["hottest_accessed"] = accessed()
+        dropped = getattr(source, "dropped", 0)
+        if dropped:
+            other["dropped_events"] = dropped
     return {
         "traceEvents": meta + body,
         "displayTimeUnit": "ms",
-        "otherData": {"app": app, "system": system, "total_time_cycles": total_time},
+        "otherData": other,
+    }
+
+
+def attribution_to_perfetto(report: dict[str, Any], top: int = 8) -> dict[str, Any]:
+    """Perfetto counter heatmap from an attribution report.
+
+    One ``"C"`` counter track per top-``top`` named region (ranked by
+    attributed overhead) plus one machine-wide track per stall category,
+    each sampled at the first mark of every application phase with the
+    overhead cycles that region/category accumulated *inside that
+    phase*.  Scrubbing the result next to a ``repro trace`` timeline of
+    the same run shows where in simulated time each hot structure paid.
+    """
+    phases = {p["label"]: p["first_mark"] for p in report.get("phases", ())}
+    hot = [r["key"] for r in report["dims"]["block"][:top]]
+    per_cell: dict[tuple[str, str], float] = {}
+    per_cat: dict[tuple[str, str], float] = {}
+    for c in report["cells"]:
+        key = c["key"] if c["kind"] == "data" else "(sync ops)"
+        if key in hot:
+            pair = (c["phase"], key)
+            per_cell[pair] = per_cell.get(pair, 0.0) + (
+                c["read_stall"] + c["write_stall"] + c["buffer_flush"]
+            )
+        for cat in ("read_stall", "write_stall", "buffer_flush"):
+            if c[cat]:
+                pair = (c["phase"], cat)
+                per_cat[pair] = per_cat.get(pair, 0.0) + c[cat]
+
+    title = " ".join(x for x in (report.get("app"), "on", report.get("system")) if x)
+    events: list[dict[str, Any]] = [
+        {"ph": "M", "pid": 0, "tid": 0, "ts": 0, "name": "process_name",
+         "args": {"name": f"repro attribution {title}".rstrip()}}
+    ]
+    for (phase, key), overhead in per_cell.items():
+        events.append(
+            {"ph": "C", "pid": 0, "tid": 0, "cat": "attrib",
+             "name": f"stall: {key}", "ts": phases.get(phase, 0.0),
+             "args": {"value": round(overhead, 1)}}
+        )
+    for (phase, cat), overhead in per_cat.items():
+        events.append(
+            {"ph": "C", "pid": 0, "tid": 0, "cat": "attrib",
+             "name": f"total {cat.replace('_', ' ')}", "ts": phases.get(phase, 0.0),
+             "args": {"value": round(overhead, 1)}}
+        )
+    events.sort(key=lambda entry: (entry["ts"], entry["name"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "kind": "attribution-heatmap",
+            "app": report.get("app", ""),
+            "system": report.get("system", ""),
+            "total_time_cycles": report.get("total_time"),
+            "tracks": len(hot),
+        },
     }
 
 

@@ -58,7 +58,14 @@ class TracingMemory:
     counters keep full totals).
     """
 
-    def __init__(self, inner, max_events: int = 100_000, shm=None):
+    #: Single source of truth for the event-buffer bound; ``__init__``
+    #: and :meth:`attach` both default to it (``max_events=None``), so
+    #: changing it cannot leave the two constructors disagreeing.
+    DEFAULT_MAX_EVENTS = 100_000
+
+    def __init__(self, inner, max_events: int | None = None, shm=None):
+        if max_events is None:
+            max_events = self.DEFAULT_MAX_EVENTS
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
         self.inner = inner
@@ -76,7 +83,7 @@ class TracingMemory:
 
     # -- construction ---------------------------------------------------
     @classmethod
-    def attach(cls, machine, max_events: int = 100_000) -> TracingMemory:
+    def attach(cls, machine, max_events: int | None = None) -> TracingMemory:
         """Interpose a tracer between a Machine's engine and memory.
 
         Wraps whatever the engine currently dispatches to, so tracers
@@ -214,6 +221,10 @@ class TracingMemory:
     def busiest_blocks(self, n: int = 10) -> list[tuple[str, int]]:
         """Blocks ranked by access count, named by array."""
         return [(self.block_name(b), v) for b, v in self._block_access.most_common(n)]
+
+    #: Export-facing alias pairing with :meth:`hottest_blocks` (the JSON
+    #: sidecar keys are ``hottest_blocks`` / ``hottest_accessed``).
+    hottest_accessed = busiest_blocks
 
     def events_for_proc(self, proc: int) -> list[TraceEvent]:
         return [e for e in self.events if e.proc == proc]

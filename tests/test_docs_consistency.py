@@ -138,6 +138,7 @@ DOCUMENTED_MODULES = [
     "repro.core.parallel",
     "repro.core.perf",
     "repro.mem.cache",
+    "repro.obs.attrib",
     "repro.obs.profile",
     "repro.obs.telemetry",
     "repro.scenarios.inject",

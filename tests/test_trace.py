@@ -93,6 +93,32 @@ class TestTracing:
         with pytest.raises(ValueError):
             TracingMemory(inner=None, max_events=0)
 
+    def test_default_max_events_single_source(self):
+        """attach() and __init__ both inherit DEFAULT_MAX_EVENTS."""
+        machine = Machine(MachineConfig(nprocs=2), "RCinv")
+        tracer = TracingMemory.attach(machine)
+        assert tracer.max_events == TracingMemory.DEFAULT_MAX_EVENTS
+        direct = TracingMemory(machine.memsys)
+        assert direct.max_events == TracingMemory.DEFAULT_MAX_EVENTS
+        explicit = TracingMemory(machine.memsys, max_events=7)
+        assert explicit.max_events == 7
+
+    def test_hottest_accessed_alias(self):
+        _, tracer, _ = run_traced()
+        assert tracer.hottest_accessed(3) == tracer.busiest_blocks(3)
+
+    def test_perfetto_sidecar_carries_hot_blocks(self):
+        from repro.obs.timeline import to_perfetto
+
+        machine, tracer, result = run_traced()
+        doc = to_perfetto(tracer, 2, total_time=result.total_time)
+        other = doc["otherData"]
+        assert other["hottest_blocks"] == tracer.hottest_blocks()
+        assert other["hottest_accessed"] == tracer.hottest_accessed()
+        # a bare event list gets no rankings (nothing to rank from)
+        bare = to_perfetto(list(tracer.events), 2, total_time=result.total_time)
+        assert "hottest_blocks" not in bare["otherData"]
+
     def test_results_unchanged_by_tracing(self):
         """Tracing must be observationally transparent."""
         def run(traced):
