@@ -31,6 +31,12 @@ perf     bench-history ledger: ``perf record`` appends BENCH_*.json
 check    run the correctness analyses (happens-before race detection +
          protocol invariant checking) over an apps × systems matrix;
          exits nonzero on any finding
+fuzz     differential fuzzing: seeded random draws (app × system ×
+         nprocs × scenario × decorator stack) cross-checked against the
+         plain-heapq reference engine, decorator neutrality, and
+         dynamic-vs-static checker agreement; mismatches are
+         delta-debug shrunk into repro files and every draw is recorded
+         in a resumable corpus ledger
 scenario named degradation scenarios (limping nodes, slow links, bursty
          load, ...): list / describe them, or run the scenario matrix
          and emit the overhead-degradation report (BENCH_scenarios.json)
@@ -508,6 +514,40 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .analysis import fuzz
+
+    log = get_logger()
+    if args.replay:
+        draw, ev = fuzz.replay_repro(args.replay)
+        log.out(f"replay {args.replay}: {draw.describe()} -> {ev.status}")
+        for failure in ev.failures:
+            log.out(f"  [{failure['oracle']}] {failure['detail']}")
+        if ev.ok:
+            log.out("mismatch no longer reproduces")
+            return 0
+        return 1
+    oracles = tuple(args.oracle) if args.oracle else fuzz.ORACLES
+    report = fuzz.run_fuzz(
+        budget=args.budget,
+        seed=args.seed,
+        max_draws=args.max_draws,
+        jobs=args.jobs,
+        oracles=oracles,
+        ledger=args.ledger,
+        repro_dir=args.repro_dir,
+        resume=not args.no_resume,
+        cache=_cache(args),
+    )
+    log.out(report.describe())
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.to_doc(), indent=1, sort_keys=True) + "\n"
+        )
+        log.out(f"fuzz report written to {args.out}")
+    return 0 if report.clean else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.static import load_baseline, repo_root, run_lint, write_baseline
 
@@ -971,6 +1011,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parallel_flags(p_check)
     p_check.set_defaults(func=cmd_check)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing with auto-minimised repros: random "
+        "draws cross-checked three ways, resumable corpus ledger",
+    )
+    p_fuzz.add_argument(
+        "--budget",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="wall-clock budget; no new batch starts after it is spent "
+        "(default 60)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="draw-stream seed (default 0)"
+    )
+    p_fuzz.add_argument(
+        "--max-draws",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after evaluating N fresh draws (default: budget-bound)",
+    )
+    p_fuzz.add_argument(
+        "--oracle",
+        action="append",
+        choices=("reference", "decorators", "checkers"),
+        metavar="NAME",
+        help="oracle family to run (repeatable; default all three)",
+    )
+    p_fuzz.add_argument(
+        "--ledger",
+        default="benchmarks/fuzz_corpus.jsonl",
+        metavar="PATH",
+        help="corpus ledger recording every evaluated draw "
+        "(default benchmarks/fuzz_corpus.jsonl)",
+    )
+    p_fuzz.add_argument(
+        "--repro-dir",
+        default="tests/fixtures/fuzz_repros",
+        metavar="DIR",
+        help="where shrunk repro files are written "
+        "(default tests/fixtures/fuzz_repros)",
+    )
+    p_fuzz.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="evaluate draws even when their key is already in the ledger",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="re-evaluate one repro file; exits 1 while the mismatch "
+        "still reproduces",
+    )
+    p_fuzz.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the session report as JSON to PATH",
+    )
+    _add_parallel_flags(p_fuzz)
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_scn = sub.add_parser(
         "scenario",

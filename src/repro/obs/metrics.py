@@ -290,7 +290,7 @@ class MetricsCollector:
             self._access_delta[self._cursor] = cur + acc - self._last_accesses
             self._last_accesses = acc
         if self._engine is not None:
-            self._wheel_depth[b] = len(self._engine._queue)
+            self._wheel_depth[b] = self._engine.queue_depth()
         depths = self._sample_depths()
         if depths:
             self._depths[b] = depths

@@ -13,6 +13,7 @@ from .events import (
     Stall,
     Write,
 )
+from .reference import ReferenceEngine, run_case, use_reference_engine
 from .stats import AccessResult, ProcStats, SimResult
 from .trace import TraceEvent, TracingMemory
 
@@ -28,10 +29,13 @@ __all__ = [
     "ProcStats",
     "Read",
     "ReadNB",
+    "ReferenceEngine",
     "Release",
     "SimResult",
     "Stall",
     "TraceEvent",
     "TracingMemory",
     "Write",
+    "run_case",
+    "use_reference_engine",
 ]

@@ -195,6 +195,10 @@ class Engine:
     # ------------------------------------------------------------------
     # scheduling primitives
     # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Number of pending ready-queue entries (observability probe)."""
+        return len(self._queue)
+
     def _push(self, thread: _Thread) -> None:
         time = thread.time
         self._queue.push(time, thread.tid)

@@ -8,6 +8,14 @@ traffic counters.  ``tests/test_engine_equivalence.py`` replays the same
 runs on the current engine and requires bit-identical results — the
 safety net for scheduler-core refactors.
 
+The run/capture machinery itself lives in :mod:`repro.sim.reference`
+(promoted there so the fuzz harness can use it without importing from
+``tests/``); this module owns the fixture file and the case matrix.
+
+Verify the committed fixture is reproducible without rewriting it::
+
+    PYTHONPATH=src python -m tests.golden --check
+
 Regenerate (only when an *intentional* timing change is made, with a
 commit message explaining why the timing moved)::
 
@@ -20,25 +28,19 @@ IEEE-754 double), so equality below really is bit-level.
 
 from __future__ import annotations
 
+import argparse
 import json
+import sys
 from pathlib import Path
 
 from repro.apps.factory import AppFactory
 from repro.apps.presets import smoke_scale
-from repro.config import MachineConfig
-from repro.runtime.context import Machine
+from repro.sim.reference import PROC_FIELDS, run_case  # noqa: F401  (PROC_FIELDS re-exported)
 
 FIXTURE = Path(__file__).parent / "fixtures" / "engine_golden.json"
 
 #: Every memory system the repo models.
 ALL_SYSTEMS = ("z-mc", "RCinv", "RCupd", "RCadapt", "RCcomp", "SCinv")
-
-#: Per-proc counters that must match bit-for-bit.
-PROC_FIELDS = (
-    "busy", "read_stall", "write_stall", "buffer_flush", "sync_wait",
-    "reads", "writes", "read_hits", "read_misses",
-    "acquires", "releases", "barriers", "fences", "finish_time",
-)
 
 
 def golden_cases() -> dict[str, tuple[AppFactory, bool]]:
@@ -50,41 +52,6 @@ def golden_cases() -> dict[str, tuple[AppFactory, bool]]:
     return cases
 
 
-def run_case(
-    factory: AppFactory,
-    system: str,
-    verify: bool,
-    nprocs: int = 16,
-    config: MachineConfig | None = None,
-) -> dict:
-    """One simulation -> JSON-able observable outcome.
-
-    ``config`` overrides the default machine (the neutrality tests pass
-    a config with an all-1.0 degradation spec installed).
-    """
-    app = factory()
-    machine = Machine(config if config is not None else MachineConfig(nprocs=nprocs), system)
-    app.setup(machine)
-    result = machine.run(app.worker)
-    if verify:
-        app.verify()
-    memory = [
-        {"name": arr.name, "base": arr.base, "data": arr.snapshot()}
-        for arr in machine.shm.arrays
-    ]
-    return {
-        "total_time": result.total_time,
-        "ops": result.ops,
-        "procs": [
-            {field: getattr(p, field) for field in PROC_FIELDS} for p in result.procs
-        ],
-        "network_messages": result.network_messages,
-        "network_bytes": result.network_bytes,
-        "traffic": machine.memsys.traffic_summary(),
-        "memory": memory,
-    }
-
-
 def build_fixture(nprocs: int = 16) -> dict:
     runs = {}
     for app_name, (factory, verify) in golden_cases().items():
@@ -93,12 +60,62 @@ def build_fixture(nprocs: int = 16) -> dict:
     return {"nprocs": nprocs, "scale": "smoke", "runs": runs}
 
 
-def main() -> None:
+def check_fixture(path: Path = FIXTURE) -> list[str]:
+    """Rebuild every run and diff it against the committed fixture.
+
+    Returns a list of problems (empty = reproducible).  Nothing is
+    rewritten: this is the read-only verification behind ``--check``.
+    """
+    if not path.exists():
+        return [f"fixture {path} does not exist (regenerate with 'python -m tests.golden')"]
+    want = json.loads(path.read_text())
+    got = json.loads(json.dumps(build_fixture(nprocs=want.get("nprocs", 16))))
+    problems = []
+    want_runs = want.get("runs", {})
+    got_runs = got["runs"]
+    for key in sorted(set(want_runs) | set(got_runs)):
+        if key not in got_runs:
+            problems.append(f"{key}: in fixture but no longer produced")
+        elif key not in want_runs:
+            problems.append(f"{key}: produced but missing from fixture")
+        elif got_runs[key] != want_runs[key]:
+            fields = [f for f in want_runs[key] if got_runs[key].get(f) != want_runs[key][f]]
+            problems.append(f"{key}: differs in {', '.join(fields)}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tests.golden", description="golden engine fixture: regenerate or verify"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed fixture is reproducible; write nothing",
+    )
+    parser.add_argument(
+        "--fixture",
+        type=Path,
+        default=FIXTURE,
+        metavar="PATH",
+        help="fixture file to verify or write (default: the committed one)",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        problems = check_fixture(args.fixture)
+        if problems:
+            for problem in problems:
+                print(f"STALE {problem}")
+            print(f"{args.fixture}: {len(problems)} run(s) not reproducible")
+            return 1
+        print(f"{args.fixture}: reproducible bit-for-bit")
+        return 0
     doc = build_fixture()
-    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
-    FIXTURE.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
-    print(f"wrote {FIXTURE} ({len(doc['runs'])} runs)")
+    args.fixture.parent.mkdir(parents=True, exist_ok=True)
+    args.fixture.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.fixture} ({len(doc['runs'])} runs)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

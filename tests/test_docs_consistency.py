@@ -131,6 +131,7 @@ def test_every_scenario_knob_documented(name):
 
 #: module paths the prose docs rely on (drift guard for renames).
 DOCUMENTED_MODULES = [
+    "repro.analysis.fuzz",
     "repro.analysis.naming",
     "repro.analysis.static",
     "repro.apps.costs",
@@ -145,6 +146,7 @@ DOCUMENTED_MODULES = [
     "repro.scenarios.registry",
     "repro.scenarios.report",
     "repro.sim.engine",
+    "repro.sim.reference",
 ]
 
 

@@ -1,0 +1,222 @@
+"""Unit + conformance tests for the plain-heapq reference engine.
+
+:class:`repro.sim.reference.ReferenceEngine` is the differential oracle
+``repro fuzz`` cross-checks the wheel engine against, so it carries the
+same bit-identity contract the production engine does: it must replay
+the golden fixture exactly, agree with the wheel engine on configs the
+fixture does not cover (odd processor counts, degradation scenarios),
+and expose the same scheduling surface (spawn validation, wake
+accounting, op budget, deadlock detection).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.factory import AppFactory
+from repro.config import MachineConfig
+from repro.runtime.context import Machine
+from repro.scenarios import apply_scenario
+from repro.sim.engine import DeadlockError
+from repro.sim.events import Acquire, BarrierWait, Compute
+from repro.sim.reference import (
+    ENGINES,
+    PROC_FIELDS,
+    ReferenceEngine,
+    run_case,
+    use_reference_engine,
+)
+from tests.golden import FIXTURE, golden_cases
+
+GOLDEN = json.loads(FIXTURE.read_text())
+CASE_IDS = sorted(GOLDEN["runs"])
+
+
+# ---------------------------------------------------------------------------
+# golden conformance: the reference engine replays the fixture bit-for-bit
+
+
+@pytest.fixture(scope="module")
+def cases():
+    return golden_cases()
+
+
+@pytest.mark.parametrize("case_id", CASE_IDS)
+def test_reference_engine_bit_identical_to_fixture(case_id, cases):
+    app_name, system = case_id.split("/")
+    factory, verify = cases[app_name]
+    expected = GOLDEN["runs"][case_id]
+    actual = run_case(
+        factory, system, verify, nprocs=GOLDEN["nprocs"], engine="reference"
+    )
+    assert actual["total_time"] == expected["total_time"], "total_time diverged"
+    assert actual["ops"] == expected["ops"], "op count diverged"
+    for proc, (got, want) in enumerate(zip(actual["procs"], expected["procs"])):
+        for field in PROC_FIELDS:
+            assert got[field] == want[field], (
+                f"proc {proc} field {field}: {got[field]!r} != {want[field]!r}"
+            )
+    assert actual["network_messages"] == expected["network_messages"]
+    assert actual["network_bytes"] == expected["network_bytes"]
+    assert actual["traffic"] == expected["traffic"]
+    assert actual["memory"] == expected["memory"], "shared-memory image diverged"
+
+
+# ---------------------------------------------------------------------------
+# wheel-vs-reference differential beyond the fixture's draw point
+
+
+@pytest.mark.parametrize(
+    "app,kwargs,system,nprocs,scenario",
+    [
+        ("IS", {"n_keys": 128, "nbuckets": 16}, "RCupd", 3, "bursty"),
+        ("Maxflow", {"n": 12, "extra_edges": 18, "seed": 1}, "SCinv", 6, "hotspot"),
+        ("Cholesky", {"grid": (4, 4)}, "RCadapt", 5, "slow_links"),
+        ("RacyDemo", {}, "RCinv", 2, "heterogeneous"),
+    ],
+    ids=lambda v: str(v) if isinstance(v, (str, int)) else "",
+)
+def test_wheel_and_reference_agree_off_fixture(app, kwargs, system, nprocs, scenario):
+    config = apply_scenario(scenario, MachineConfig(nprocs=nprocs))
+    factory = AppFactory(app, **kwargs)
+    verify = app != "RacyDemo"
+    wheel = run_case(factory, system, verify, config=config, engine="wheel")
+    ref = run_case(factory, system, verify, config=config, engine="reference")
+    assert json.loads(json.dumps(wheel)) == json.loads(json.dumps(ref))
+
+
+# ---------------------------------------------------------------------------
+# scheduling surface
+
+
+def _machine(nprocs=2, system="RCinv"):
+    return Machine(MachineConfig(nprocs=nprocs), system)
+
+
+def test_use_reference_engine_swaps_and_rebinds():
+    machine = _machine()
+    original = machine.engine
+    ref = use_reference_engine(machine)
+    assert machine.engine is ref
+    assert isinstance(ref, ReferenceEngine)
+    assert ref.memsys is original.memsys
+    assert ref.syncmgr is original.syncmgr
+    # the sync manager now wakes the reference engine, not the old one
+    assert machine.sync._engine is ref
+
+
+def test_run_case_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_case(AppFactory("RacyDemo"), "RCinv", False, engine="warp")
+    assert set(ENGINES) == {"wheel", "reference"}
+
+
+def test_spawn_validation():
+    ref = use_reference_engine(_machine())
+
+    def gen():
+        yield Compute(1.0)
+
+    ref.spawn(0, gen())
+    with pytest.raises(ValueError, match="already spawned"):
+        ref.spawn(0, gen())
+    with pytest.raises(ValueError, match="outside processor range"):
+        ref.spawn(7, gen())
+
+
+def test_wake_requires_blocked_thread():
+    ref = use_reference_engine(_machine())
+
+    def gen():
+        yield Compute(1.0)
+
+    ref.spawn(0, gen())
+    with pytest.raises(RuntimeError, match="non-blocked"):
+        ref.wake(0, 5.0)
+
+
+def test_profiler_is_rejected():
+    ref = use_reference_engine(_machine())
+    ref.profiler = object()
+    with pytest.raises(RuntimeError, match="does not support host self-profiling"):
+        ref.run()
+
+
+def test_deadlock_detection():
+    machine = _machine(nprocs=2)
+    use_reference_engine(machine)
+    lock = machine.sync.new_lock("jam")
+
+    def worker(ctx):
+        # Non-reentrant lock acquired twice: blocks forever.
+        yield Acquire(lock)
+        yield Acquire(lock)
+
+    with pytest.raises(DeadlockError, match="deadlocked"):
+        machine.run(worker)
+
+
+def test_op_budget_enforced():
+    machine = Machine(MachineConfig(nprocs=1), "RCinv", max_ops=5)
+    use_reference_engine(machine)
+
+    def worker(ctx):
+        while True:
+            yield Compute(1.0)
+
+    with pytest.raises(RuntimeError, match="operation budget exceeded"):
+        machine.run(worker)
+
+
+def test_feedback_is_thread_clock():
+    machine = Machine(MachineConfig(nprocs=1), "RCinv")
+    use_reference_engine(machine)
+    seen = []
+
+    def worker(ctx):
+        t1 = yield Compute(10.0)
+        seen.append(t1)
+        t2 = yield Compute(2.5)
+        seen.append(t2)
+
+    machine.run(worker)
+    assert seen == [10.0, 12.5]
+
+
+def test_barrier_wake_accounts_sync_wait():
+    machine = _machine(nprocs=2)
+    use_reference_engine(machine)
+    barrier = machine.sync.new_barrier()
+
+    def worker(ctx):
+        if ctx.pid == 0:
+            yield Compute(100.0)
+        yield BarrierWait(barrier)
+
+    result = machine.run(worker)
+    # proc 1 reached the barrier early and waited for proc 0
+    assert result.procs[1].sync_wait > 0.0
+    assert result.procs[0].barriers == 1
+    assert result.procs[1].barriers == 1
+
+
+def test_observer_neutrality_on_reference_engine():
+    """Attaching metrics must not perturb reference-engine results."""
+    from repro.obs.metrics import MetricsCollector
+
+    factory = AppFactory("IS", n_keys=128, nbuckets=16)
+    bare = run_case(factory, "RCinv", True, nprocs=4, engine="reference")
+
+    app = factory()
+    machine = Machine(MachineConfig(nprocs=4), "RCinv")
+    use_reference_engine(machine)
+    app.setup(machine)
+    MetricsCollector.attach(machine)
+    result = machine.run(app.worker)
+    app.verify()
+    from repro.sim.reference import capture_outcome
+
+    observed = capture_outcome(machine, result)
+    assert json.loads(json.dumps(bare)) == json.loads(json.dumps(observed))

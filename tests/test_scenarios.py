@@ -21,6 +21,7 @@ import json
 
 import pytest
 
+from repro.apps.factory import AppFactory
 from repro.config import MachineConfig
 from repro.core.study import run_study
 from repro.mem.systems import make_system
@@ -251,6 +252,93 @@ def test_degraded_network_queues_behind_slow_link():
     t_slow = [slow.transfer(u, v, 32, 0.0) for _ in range(3)]
     assert t_slow[0] > t_fast[0]          # serialisation tail is slower
     assert (t_slow[2] - t_slow[0]) > (t_fast[2] - t_fast[0])  # queueing grows
+
+
+# ---------------------------------------------------------------------------
+# knob edge cases: the corners of the fuzz draw space
+#
+# Factors of exactly 1.0, zero-width burst windows, and single-node /
+# single-link selections must either be bit-identical to the clean
+# machine (neutral knobs exercise the injection paths without perturbing
+# results) or be rejected with a ValueError — never silently wrong.
+
+EDGE_APP = AppFactory("IS", n_keys=128, nbuckets=16)
+
+
+@pytest.fixture(scope="module")
+def edge_baseline():
+    return json.loads(json.dumps(
+        run_case(EDGE_APP, "RCinv", True, config=MachineConfig(nprocs=4))
+    ))
+
+
+def _edge_run(scenario, overrides):
+    cfg = apply_scenario(scenario, MachineConfig(nprocs=4), overrides)
+    return json.loads(json.dumps(run_case(EDGE_APP, "RCinv", True, config=cfg)))
+
+
+@pytest.mark.parametrize(
+    "scenario,overrides",
+    [
+        ("hotspot", {"mem_factor": 1.0}),
+        ("limping_nodes", {"cpu_factor": 1.0, "mem_factor": 1.0}),
+        ("slow_links", {"latency_factor": 1.0, "bandwidth_factor": 1.0}),
+        ("bursty", {"factor": 1.0}),
+        ("heterogeneous", {"max_factor": 1.0}),
+    ],
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_unit_factors_bit_identical_to_baseline(scenario, overrides, edge_baseline):
+    assert _edge_run(scenario, overrides) == edge_baseline
+
+
+def test_zero_width_burst_window_bit_identical(edge_baseline):
+    # duty=0.0 with a large factor: the burst window never opens, so the
+    # burst schedule code runs but scales nothing.
+    assert _edge_run("bursty", {"duty": 0.0, "factor": 4.0}) == edge_baseline
+
+
+def test_full_duty_burst_is_valid_and_slower(edge_baseline):
+    # duty=1.0 is the other inclusive endpoint: always bursting.
+    slowed = _edge_run("bursty", {"duty": 1.0, "factor": 2.0})
+    assert slowed["total_time"] > edge_baseline["total_time"]
+
+
+def test_hotspot_single_node_selection():
+    cfg = apply_scenario("hotspot", MachineConfig(nprocs=4), {"hot_nodes": 1})
+    assert len(cfg.degradation.node_mem) == 1
+    (node, factor), = cfg.degradation.node_mem
+    assert 0 <= node < 4 and factor == 4.0
+    run_case(EDGE_APP, "RCinv", True, config=cfg)  # runs and verifies
+
+
+def test_slow_links_single_link_selection():
+    cfg = apply_scenario("slow_links", MachineConfig(nprocs=4), {"n_links": 1})
+    assert len(cfg.degradation.links) == 1
+    run_case(EDGE_APP, "RCinv", True, config=cfg)
+
+
+def test_slow_links_on_single_node_machine():
+    # A one-node machine has no links: the selection is empty, the spec
+    # is (vacuously) neutral, and the run still verifies.
+    cfg = apply_scenario("slow_links", MachineConfig(nprocs=1))
+    assert cfg.degradation.links == ()
+    run_case(AppFactory("IS", n_keys=64, nbuckets=8), "RCinv", True, config=cfg)
+
+
+def test_edge_knob_values_correctly_rejected():
+    cfg = MachineConfig(nprocs=4)
+    with pytest.raises(ValueError):
+        apply_scenario("hotspot", cfg, {"mem_factor": 0.0})
+    with pytest.raises(ValueError):
+        apply_scenario("limping_nodes", cfg, {"cpu_factor": -1.0})
+    with pytest.raises(ValueError):
+        apply_scenario("bursty", cfg, {"duty": 1.5})
+    with pytest.raises(ValueError):
+        apply_scenario("slow_links", cfg, {"bandwidth_factor": 0.0})
+    # period=0.0 is the documented off-switch, not an error
+    off = apply_scenario("bursty", cfg, {"period": 0.0})
+    assert off.degradation.is_neutral
 
 
 # ---------------------------------------------------------------------------
